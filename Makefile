@@ -1,0 +1,41 @@
+# GRETEL reproduction — common tasks. Everything is plain `go` under the
+# hood; the targets just bundle the invocations used in README/EXPERIMENTS.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate every table and figure (writes CSVs under out/).
+experiments:
+	$(GO) run ./cmd/gretel-experiments -exp all -out out
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vmcreate_fault
+	$(GO) run ./examples/api_bottleneck
+	$(GO) run ./examples/parallel_ops
+	$(GO) run ./examples/rootcause
+	$(GO) run ./examples/correlation
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -rf out

@@ -1,0 +1,215 @@
+// Command gretel-experiments regenerates every table and figure of the
+// paper's evaluation (§7) on the simulated deployment. Each experiment
+// prints the same rows/series the paper reports; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	gretel-experiments -exp table1
+//	gretel-experiments -exp fig7a
+//	gretel-experiments -exp all
+//
+// Experiments: table1, fig5, fig6, fig7a, fig7b, fig7c, fig8a, fig8b,
+// fig8c, hansel, overhead, all.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"gretel/internal/experiments"
+	"gretel/internal/tempest"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		fast   = flag.Bool("fast", false, "reduced scales for a quick pass")
+		outDir = flag.String("out", "", "also write each figure's raw data as CSV into this directory")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		start := time.Now()
+		fn()
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	parallels := []int{100, 200, 300, 400}
+	faultCounts := []int{1, 4, 8, 16}
+	events := 200000
+	if *fast {
+		parallels = []int{100, 200}
+		faultCounts = []int{4, 8}
+		events = 40000
+	}
+
+	run("table1", func() {
+		res := experiments.Table1(*seed, 2)
+		fmt.Print(experiments.FormatTable1(res))
+	})
+
+	run("fig5", func() {
+		cat := tempest.NewCatalog(*seed)
+		lib := experiments.GroundTruthLibrary(cat)
+		points := experiments.Fig5(lib, 70)
+		fmt.Print(experiments.FormatFig5(points))
+		rows := [][]string{{"operation", "overlap"}}
+		for _, p := range points {
+			rows = append(rows, []string{p.Name, fmt.Sprintf("%.4f", p.Overlap)})
+		}
+		writeCSV(*outDir, "fig5", rows)
+	})
+
+	run("fig6", func() {
+		concurrent := 400
+		if *fast {
+			concurrent = 120
+		}
+		res := experiments.Fig6(*seed, concurrent)
+		fmt.Print(experiments.FormatLatencySeries(res.Series, 20))
+		fmt.Printf("performance reports: %d\n", len(res.Reports))
+		writeCSV(*outDir, "fig6", seriesRows(res.Series))
+	})
+
+	run("fig7a", func() {
+		cells := experiments.Fig7a(*seed, parallels, faultCounts)
+		fmt.Print(experiments.FormatPrecision(cells))
+		writeCSV(*outDir, "fig7a", cellRows(cells))
+	})
+
+	run("fig7b", func() {
+		// Fig 7b is the 8-fault row of the 7a sweep with both series.
+		cells := experiments.Fig7a(*seed, parallels, []int{8})
+		fmt.Print(experiments.FormatPrecision(cells))
+		writeCSV(*outDir, "fig7b", cellRows(cells))
+	})
+
+	run("fig7c", func() {
+		withRPC, withoutRPC := experiments.Fig7c(*seed)
+		fmt.Println("with RPC symbols in fingerprints:")
+		fmt.Print(experiments.FormatPrecision([]experiments.PrecisionCell{withRPC}))
+		fmt.Println("without RPC symbols (pruned, the default):")
+		fmt.Print(experiments.FormatPrecision([]experiments.PrecisionCell{withoutRPC}))
+		writeCSV(*outDir, "fig7c", cellRows([]experiments.PrecisionCell{withRPC, withoutRPC}))
+	})
+
+	run("fig8a", func() {
+		cells := experiments.Fig8a(*seed, parallels)
+		fmt.Print(experiments.FormatPrecision(cells))
+		writeCSV(*outDir, "fig8a", cellRows(cells))
+	})
+
+	run("fig8b", func() {
+		concurrent := 200
+		if *fast {
+			concurrent = 100
+		}
+		res := experiments.Fig8b(*seed, concurrent)
+		fmt.Print(experiments.FormatLatencySeries(res.Series, 20))
+		fmt.Printf("alarms: %d inside the 10-minute window, %d across the episode (paper: 18)\n",
+			res.AlarmsDuring, res.AlarmsEpisode)
+		fmt.Printf("temporary-change episodes classified: %d (the bounded injection)\n", res.Series.TempChanges)
+		writeCSV(*outDir, "fig8b", seriesRows(res.Series))
+	})
+
+	run("fig8c", func() {
+		points := experiments.Fig8c(*seed, events, nil)
+		fmt.Print(experiments.FormatFig8c(points))
+		rows := [][]string{{"fault_every", "events_per_sec", "mbps", "reports"}}
+		for _, p := range points {
+			rows = append(rows, []string{
+				strconv.Itoa(p.FaultEvery),
+				fmt.Sprintf("%.0f", p.Result.EventsPerSec),
+				fmt.Sprintf("%.1f", p.Result.Mbps),
+				strconv.Itoa(p.Result.Reports),
+			})
+		}
+		writeCSV(*outDir, "fig8c", rows)
+	})
+
+	run("hansel", func() {
+		g, h := experiments.HanselComparison(*seed, events)
+		fmt.Print(experiments.FormatComparison(g, h))
+		withT, withoutT := experiments.HanselLinking(*seed, events/2)
+		fmt.Printf("HANSEL fault chains implicate %.1f operations with shared tenant ids (%.1f without);\n", withT, withoutT)
+		fmt.Printf("GRETEL reports one candidate set per fault (see fig7b).\n")
+	})
+
+	run("overhead", func() {
+		n := 100
+		if *fast {
+			n = 40
+		}
+		res := experiments.Overhead(*seed, n)
+		fmt.Print(experiments.FormatOverhead(res))
+	})
+
+	switch *exp {
+	case "all", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "hansel", "overhead":
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+// writeCSV writes rows (first row headers) to dir/name.csv; dir=="" is a
+// no-op.
+func writeCSV(dir, name string, rows [][]string) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("writing %s: %v", path, err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		log.Printf("writing %s: %v", path, err)
+		return
+	}
+	log.Printf("wrote %s", path)
+}
+
+func cellRows(cells []experiments.PrecisionCell) [][]string {
+	rows := [][]string{{"parallel", "faults", "reports", "precision", "matched", "api_only", "hit_rate", "beta", "max_delay_s"}}
+	for _, c := range cells {
+		rows = append(rows, []string{
+			strconv.Itoa(c.Parallel), strconv.Itoa(c.Faults), strconv.Itoa(c.Reports),
+			fmt.Sprintf("%.6f", c.AvgTheta), fmt.Sprintf("%.3f", c.AvgMatched),
+			fmt.Sprintf("%.3f", c.AvgByErrorOnly), fmt.Sprintf("%.4f", c.HitRate),
+			fmt.Sprintf("%.0f", c.AvgBeta), fmt.Sprintf("%.3f", c.MaxReportDelay.Seconds()),
+		})
+	}
+	return rows
+}
+
+func seriesRows(s *experiments.LatencySeries) [][]string {
+	rows := [][]string{{"t_unix_us", "latency_ms", "adjusted_ms"}}
+	for _, p := range s.Points {
+		rows = append(rows, []string{
+			strconv.FormatInt(p.Time.UnixMicro(), 10),
+			fmt.Sprintf("%.3f", float64(p.Latency)/1e6),
+			fmt.Sprintf("%.3f", float64(p.Adjusted)/1e6),
+		})
+	}
+	return rows
+}

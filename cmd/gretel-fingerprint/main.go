@@ -1,0 +1,43 @@
+// Command gretel-fingerprint runs GRETEL's offline learning phase
+// (Algorithm 1): it executes every test of the Tempest-analogue catalog
+// in isolation on the simulated deployment, learns the operational
+// fingerprints, prints the Table 1 characterization, and optionally
+// saves the library for cmd/gretel.
+//
+// Usage:
+//
+//	gretel-fingerprint -seed 1 -runs 2 -o fingerprints.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gretel/internal/experiments"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "catalog seed")
+		runs = flag.Int("runs", 2, "isolated executions per test (LCS pruning needs >= 2)")
+		out  = flag.String("o", "", "write the learned library to this JSON file")
+	)
+	flag.Parse()
+
+	log.Printf("learning fingerprints for 1200 catalog tests (%d runs each)...", *runs)
+	start := time.Now()
+	res := experiments.Table1(*seed, *runs)
+	log.Printf("learned %d fingerprints in %v", res.Library.Len(), time.Since(start).Round(time.Millisecond))
+
+	fmt.Println()
+	fmt.Print(experiments.FormatTable1(res))
+
+	if *out != "" {
+		if err := res.Library.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("library written to %s", *out)
+	}
+}

@@ -1,0 +1,112 @@
+// Command gretel-tempest drives the Tempest-analogue workload against
+// the simulated OpenStack deployment, either running selected tests in
+// isolation or sustaining a concurrent pool, and reports per-category
+// pass/fail counts. It is the workload side of the evaluation, usable
+// standalone to inspect what the suite does.
+//
+// Usage:
+//
+//	gretel-tempest -list                    # print the catalog
+//	gretel-tempest -run compute-vm-create-0000
+//	gretel-tempest -parallel 100 -duration 2m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	"gretel/internal/openstack"
+	"gretel/internal/tempest"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "catalog seed")
+		list     = flag.Bool("list", false, "list catalog tests and exit")
+		runName  = flag.String("run", "", "run one named test in isolation")
+		parallel = flag.Int("parallel", 0, "sustain this many concurrent tests")
+		duration = flag.Duration("duration", 2*time.Minute, "simulated duration for -parallel")
+	)
+	flag.Parse()
+
+	cat := tempest.NewCatalog(*seed)
+
+	switch {
+	case *list:
+		for _, c := range openstack.Categories() {
+			fmt.Printf("%s (%d tests)\n", c, len(cat.ByCategory[c]))
+			for _, test := range cat.ByCategory[c][:minInt(5, len(cat.ByCategory[c]))] {
+				fmt.Printf("  %-40s %3d steps (fingerprint %d)\n",
+					test.Op.Name, len(test.Op.Steps), test.Op.FingerprintLen(true))
+			}
+			if len(cat.ByCategory[c]) > 5 {
+				fmt.Printf("  ... and %d more\n", len(cat.ByCategory[c])-5)
+			}
+		}
+
+	case *runName != "":
+		var target *tempest.Test
+		for _, test := range cat.Tests {
+			if test.Op.Name == *runName || strings.HasPrefix(test.Op.Name, *runName) {
+				target = test
+				break
+			}
+		}
+		if target == nil {
+			log.Fatalf("no test named %q (try -list)", *runName)
+		}
+		var stats tempest.RunStats
+		start := time.Now()
+		apis := tempest.RunIsolated(target, *seed, &stats)
+		if apis == nil {
+			log.Fatalf("test %s failed", target.Op.Name)
+		}
+		fmt.Printf("%s: ok\n", target.Op.Name)
+		fmt.Printf("  API invocations captured: %d\n", len(apis))
+		fmt.Printf("  events: %d REST, %d RPC\n", stats.RESTEvents, stats.RPCEvents)
+		fmt.Printf("  wall time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	case *parallel > 0:
+		d := openstack.NewDeployment(openstack.Config{
+			Seed:            *seed,
+			HeartbeatPeriod: 10 * time.Second,
+			ThinkMin:        50 * time.Millisecond,
+			ThinkMax:        150 * time.Millisecond,
+		})
+		rng := rand.New(rand.NewSource(*seed))
+		stopPool := tempest.SustainPool(d, cat, *parallel, rng)
+		start := time.Now()
+		d.Sim.RunUntil(d.Sim.Now().Add(*duration))
+		stopPool()
+		d.StopNoise()
+		d.Sim.Run()
+
+		byState := map[openstack.InstanceState]int{}
+		byCat := map[openstack.Category]int{}
+		for _, inst := range d.Completed() {
+			byState[inst.State]++
+			byCat[inst.Op.Category]++
+		}
+		fmt.Printf("completed %d test instances over %v simulated (%v wall):\n",
+			len(d.Completed()), *duration, time.Since(start).Round(time.Millisecond))
+		for _, c := range openstack.Categories() {
+			fmt.Printf("  %-8s %d\n", c, byCat[c])
+		}
+		fmt.Printf("  states: %d succeeded, %d failed, %d aborted\n",
+			byState[openstack.StateSucceeded], byState[openstack.StateFailed], byState[openstack.StateAborted])
+
+	default:
+		flag.Usage()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

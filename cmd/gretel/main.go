@@ -1,0 +1,154 @@
+// Command gretel runs the GRETEL analyzer service: it listens for event
+// streams from monitoring agents (see cmd/gretel-agent), detects
+// operational and performance faults, localizes the responsible
+// administrative operation against a fingerprint library, and prints
+// fault reports as they are produced.
+//
+// Usage:
+//
+//	gretel -listen :6166 -library fingerprints.json
+//	gretel -listen :6166 -seed 1            # library from the built-in catalog
+//
+// Generate a fingerprint library with cmd/gretel-fingerprint, or let the
+// analyzer build one from the deterministic Tempest-analogue catalog
+// using -seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"gretel/internal/agent"
+	"gretel/internal/core"
+	"gretel/internal/fingerprint"
+	"gretel/internal/rca"
+	"gretel/internal/tempest"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":6166", "address to receive agent event streams on")
+		libPath  = flag.String("library", "", "fingerprint library JSON (from gretel-fingerprint)")
+		seed     = flag.Int64("seed", 1, "catalog seed used when -library is not given")
+		alpha    = flag.Int("alpha", 0, "sliding window size (0 = derive from FPmax/Prate/t)")
+		prate    = flag.Float64("prate", 150, "expected message rate (packets/s) for window sizing")
+		horizonT = flag.Float64("t", 1, "window time horizon t in seconds")
+		perf     = flag.Bool("perf", true, "enable performance-fault detection")
+		quiet    = flag.Bool("quiet", false, "suppress per-report output; print only the summary")
+		jsonOut  = flag.Bool("json", false, "emit reports as JSON lines instead of text")
+	)
+	flag.Parse()
+
+	var lib *fingerprint.Library
+	var err error
+	if *libPath != "" {
+		lib, err = fingerprint.LoadFile(*libPath)
+		if err != nil {
+			log.Fatalf("loading library: %v", err)
+		}
+		log.Printf("loaded %d fingerprints from %s (FPmax=%d)", lib.Len(), *libPath, lib.MaxLen())
+	} else {
+		cat := tempest.NewCatalog(*seed)
+		lib = fingerprint.NewLibrary()
+		for _, test := range cat.Tests {
+			lib.AddAPIs(test.Op.Name, test.Op.Category.String(), test.Op.APIs())
+		}
+		log.Printf("built %d fingerprints from catalog seed %d (FPmax=%d)", lib.Len(), *seed, lib.MaxLen())
+	}
+
+	analyzer := core.New(lib, core.Config{
+		Alpha: *alpha, Prate: *prate, T: *horizonT, PerfDetection: *perf,
+	})
+	// Root-cause analysis over the distributed state the agents stream in.
+	store := rca.NewStore()
+	analyzer.SetRCA(rca.NewEngine(lib, store, rca.Config{}).Hook())
+	if !*quiet {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			analyzer.OnReport(func(rep *core.Report) {
+				if err := enc.Encode(rep); err != nil {
+					log.Printf("encoding report: %v", err)
+				}
+			})
+		} else {
+			analyzer.OnReport(printReport)
+		}
+	}
+
+	recv, err := agent.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("analyzer listening on %s (alpha=%d)", recv.Addr(), analyzer.Config().Alpha)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Print("interrupt: draining")
+		recv.Close()
+	}()
+
+	go func() {
+		for u := range recv.States() {
+			store.Apply(u)
+		}
+	}()
+
+	start := time.Now()
+	for ev := range recv.Events() {
+		analyzer.Ingest(ev)
+	}
+	analyzer.Flush()
+
+	st := analyzer.Stats
+	elapsed := time.Since(start)
+	fmt.Printf("\n--- summary ---\n")
+	fmt.Printf("events:    %d (%.0f/s, %.1f Mbps)\n", st.Events,
+		float64(st.Events)/elapsed.Seconds(), float64(st.Bytes)*8/1e6/elapsed.Seconds())
+	fmt.Printf("pairs:     %d REST, %d RPC\n", st.RESTPairs, st.RPCPairs)
+	fmt.Printf("faults:    %d operational markers, %d latency alarms\n", st.Faults, st.PerfAlarms)
+	fmt.Printf("reports:   %d (%d with no matching fingerprint)\n", st.Reports, st.FalseNegs)
+
+	sums := analyzer.LatencySummaries()
+	if len(sums) > 0 {
+		fmt.Printf("\nslowest APIs (p95):\n")
+		show := len(sums)
+		if show > 8 {
+			show = 8
+		}
+		for _, s := range sums[:show] {
+			fmt.Printf("  %-55v p50=%6.1fms p95=%6.1fms p99=%6.1fms n=%d\n",
+				s.API, s.Summary.Quantile(0.5)*1000, s.Summary.Quantile(0.95)*1000,
+				s.Summary.Quantile(0.99)*1000, s.Summary.Count())
+		}
+	}
+}
+
+func printReport(rep *core.Report) {
+	fmt.Printf("[%s] %s fault: %v", rep.DetectedAt.Format("15:04:05.000"), rep.Kind, rep.OffendingAPI)
+	if rep.Fault.ErrorText != "" {
+		fmt.Printf(" (%s)", rep.Fault.ErrorText)
+	}
+	fmt.Println()
+	fmt.Printf("  operations matched: %d of %d candidates (precision %.2f%%, beta %d)\n",
+		len(rep.Candidates), rep.CandidatesByErrorOnly, rep.Precision*100, rep.Beta)
+	max := len(rep.Candidates)
+	if max > 5 {
+		max = 5
+	}
+	for _, name := range rep.Candidates[:max] {
+		fmt.Printf("    - %s\n", name)
+	}
+	if len(rep.Candidates) > max {
+		fmt.Printf("    ... and %d more\n", len(rep.Candidates)-max)
+	}
+	for _, rc := range rep.RootCauses {
+		fmt.Printf("  root cause: %s\n", rc)
+	}
+}

@@ -1,0 +1,51 @@
+// The §5.3.1 correlation-identifier extension, side by side with the
+// baseline: the same workload and fault are analyzed twice, once with
+// classic fingerprint matching over the shared message window and once
+// with X-Openstack-Request-Id filtering, showing how correlation ids
+// shrink the candidate set and pin the exact operation.
+//
+//	go run ./examples/correlation
+package main
+
+import (
+	"fmt"
+
+	"gretel/internal/experiments"
+	"gretel/internal/openstack"
+	"gretel/internal/tempest"
+)
+
+func main() {
+	cat := tempest.NewCatalog(21)
+	lib := experiments.GroundTruthLibrary(cat)
+
+	runOnce := func(corr bool) experiments.PrecisionCell {
+		run := &experiments.ParallelRun{
+			Catalog:        cat,
+			Library:        lib,
+			Parallel:       100,
+			FaultTests:     cat.ByCategory[openstack.Compute][:4],
+			Seed:           77,
+			CorrelationIDs: corr,
+		}
+		return run.Run()
+	}
+
+	fmt.Println("baseline (OpenStack LIBERTY: no correlation ids):")
+	base := runOnce(false)
+	fmt.Printf("  matched operations per fault: %.1f (of %.0f containing the error API)\n",
+		base.AvgMatched, base.AvgByErrorOnly)
+	fmt.Printf("  precision θ: %.2f%%   true operation included: %.0f%%\n",
+		base.AvgTheta*100, base.HitRate*100)
+
+	fmt.Println("\nwith correlation ids (X-Openstack-Request-Id on every message):")
+	corr := runOnce(true)
+	fmt.Printf("  matched operations per fault: %.1f\n", corr.AvgMatched)
+	fmt.Printf("  precision θ: %.2f%%   true operation included: %.0f%%\n",
+		corr.AvgTheta*100, corr.HitRate*100)
+
+	fmt.Println("\nAs §5.3.1 anticipates, correlation identifiers \"increase")
+	fmt.Println("precision by reducing the number of packets against which a")
+	fmt.Println("fingerprint is matched\" — and they also guarantee the true")
+	fmt.Println("operation stays in the matched set.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: assemble the full GRETEL stack in-process, inject one
+// operational fault into a simulated OpenStack deployment, and print the
+// resulting fault report with its root cause.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gretel/internal/faults"
+	"gretel/internal/openstack"
+	"gretel/internal/scenario"
+	"gretel/internal/trace"
+)
+
+func main() {
+	// The harness wires: simulated deployment -> wire taps -> monitoring
+	// agent -> analyzer -> root-cause engine, with a fingerprint library
+	// learned from the core operations.
+	h := scenario.New(scenario.Options{
+		Seed:       42,
+		WithRCA:    true,
+		PollPeriod: time.Second, // collectd-analogue resource polling
+	})
+
+	// Fill the Glance node's disk and make image-file uploads fail with
+	// the §7.2.1 "Request Entity Too Large" error.
+	glance := h.D.Fabric.NodeFor(trace.SvcGlance)
+	faults.ExhaustDisk(glance, 0.5)
+	h.Plan.FailAPI(
+		trace.RESTAPI(trace.SvcGlance, "PUT", "/v2/images/{id}/file"),
+		413, "Request Entity Too Large: insufficient store space")
+
+	// Background traffic plus the operation that will hit the fault.
+	for _, op := range openstack.CoreOperations()[:4] {
+		h.D.Start(op, nil)
+	}
+	h.D.Start(openstack.OpImageUpload(), nil)
+
+	// Advance the simulation and drain.
+	h.Run(30 * time.Minute)
+	h.Finish()
+
+	for _, rep := range h.Reports() {
+		fmt.Printf("%s fault detected: %v\n", rep.Kind, rep.OffendingAPI)
+		fmt.Printf("  error:      %s (HTTP %d)\n", rep.Fault.ErrorText, rep.Fault.Status)
+		fmt.Printf("  operation:  %v (narrowed from %d candidates, precision %.2f%%)\n",
+			rep.Candidates, rep.CandidatesByErrorOnly, rep.Precision*100)
+		for _, rc := range rep.RootCauses {
+			fmt.Printf("  root cause: %s\n", rc)
+		}
+	}
+	if len(h.Reports()) == 0 {
+		fmt.Println("no faults detected (unexpected)")
+	}
+}

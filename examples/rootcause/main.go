@@ -1,0 +1,118 @@
+// The four §7.2 case studies, end to end: failed image uploads (disk
+// exhaustion), Neutron API latency (CPU surge), a crashed linuxbridge
+// agent, and a stopped NTP daemon. Each scenario drives the full stack
+// and prints GRETEL's diagnosis.
+//
+//	go run ./examples/rootcause
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gretel/internal/core"
+	"gretel/internal/faults"
+	"gretel/internal/openstack"
+	"gretel/internal/scenario"
+	"gretel/internal/trace"
+	"gretel/internal/tsoutliers"
+)
+
+func report(title string, reps []*core.Report) {
+	fmt.Printf("--- %s ---\n", title)
+	if len(reps) == 0 {
+		fmt.Println("  (no reports)")
+		return
+	}
+	for _, rep := range reps {
+		fmt.Printf("  %s fault on %v", rep.Kind, rep.OffendingAPI)
+		if rep.Fault.ErrorText != "" {
+			fmt.Printf(" — %q", rep.Fault.ErrorText)
+		}
+		fmt.Println()
+		if len(rep.Candidates) > 0 {
+			fmt.Printf("  operation: %v\n", rep.Candidates)
+		}
+		for _, rc := range rep.RootCauses {
+			fmt.Printf("  root cause: %s\n", rc)
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	// §7.2.1 Failed image uploads.
+	{
+		h := scenario.New(scenario.Options{Seed: 101, WithRCA: true, PollPeriod: time.Second})
+		faults.ExhaustDisk(h.D.Fabric.NodeFor(trace.SvcGlance), 0.8)
+		h.Plan.FailAPI(trace.RESTAPI(trace.SvcGlance, "PUT", "/v2/images/{id}/file"),
+			413, "Request Entity Too Large: insufficient store space")
+		h.D.Start(openstack.OpImageUpload(), nil)
+		h.Run(30 * time.Minute)
+		h.Finish()
+		report("7.2.1 failed image upload", h.Reports())
+	}
+
+	// §7.2.2 Neutron API latency increase.
+	{
+		h := scenario.New(scenario.Options{
+			Seed: 103, WithRCA: true, PollPeriod: time.Second,
+			Analyzer: core.Config{
+				PerfDetection: true,
+				Latency:       tsoutliers.Options{Warmup: 10, MinRun: 3, MinSpread: 0.01},
+			},
+		})
+		stop := false
+		h.D.Sim.Every(20*time.Second, func() bool { return stop }, func() {
+			h.D.Start(openstack.OpVMCreate(), nil)
+		})
+		h.Run(10 * time.Minute)
+		restore := faults.InjectCPUSurge(h.D.Fabric.NodeFor(trace.SvcNeutron), 90)
+		h.Run(15 * time.Minute)
+		restore()
+		stop = true
+		h.Finish()
+		var perf []*core.Report
+		for _, rep := range h.Reports() {
+			if rep.Kind == core.Performance && rep.Fault.API.Service == trace.SvcNeutron {
+				perf = append(perf, rep)
+				break
+			}
+		}
+		report("7.2.2 Neutron API latency increase", perf)
+	}
+
+	// §7.2.3 Linux bridge agent failure.
+	{
+		h := scenario.New(scenario.Options{Seed: 107, WithRCA: true, PollPeriod: time.Second})
+		for _, n := range h.D.ComputeNodes() {
+			faults.StopDependency(n, "neutron-plugin-linuxbridge-agent")
+		}
+		h.Plan.Add(faults.Rule{
+			Service: trace.SvcNovaCompute, WhenDepDown: "neutron-plugin-linuxbridge-agent",
+			StepIndex: -1,
+			Outcome: openstack.Outcome{Status: 1,
+				ErrText: "NoValidHost: No valid host was found. There are not enough hosts available."},
+		})
+		h.D.Start(openstack.OpVMCreate(), nil)
+		h.Run(time.Hour)
+		h.Finish()
+		report("7.2.3 linuxbridge agent failure", h.Reports())
+	}
+
+	// §7.2.4 NTP failure.
+	{
+		h := scenario.New(scenario.Options{Seed: 109, WithRCA: true, PollPeriod: time.Second})
+		faults.StopDependency(h.D.Fabric.NodeFor(trace.SvcCinder), "ntp")
+		h.Plan.Add(faults.Rule{
+			API:         trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/auth/tokens"),
+			WhenDepDown: "ntp", DepOnCaller: true, StepIndex: -1,
+			Outcome: openstack.Outcome{Status: 401,
+				ErrText: "The request you have made requires authentication (token expired: clock skew)"},
+		})
+		h.D.Start(openstack.OpCinderList(), nil)
+		h.Run(time.Hour)
+		h.Finish()
+		report("7.2.4 NTP failure", h.Reports())
+	}
+}

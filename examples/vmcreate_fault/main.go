@@ -1,0 +1,57 @@
+// The §3.1.1 scenario: a VM create is scheduled and then fails with
+// "No valid host was found" because the nova-compute layer is broken on
+// every compute host. Log analysis shows nothing at ERROR level, and a
+// message-chain tracer stops at the failing API; GRETEL identifies the
+// administrative operation (VM create) and walks upstream to the crashed
+// compute-side agent.
+//
+//	go run ./examples/vmcreate_fault
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gretel/internal/faults"
+	"gretel/internal/openstack"
+	"gretel/internal/scenario"
+	"gretel/internal/trace"
+)
+
+func main() {
+	h := scenario.New(scenario.Options{Seed: 7, WithRCA: true, PollPeriod: time.Second})
+
+	// The linuxbridge agent is down on all compute hosts, so scheduling
+	// cannot place the instance anywhere.
+	for _, n := range h.D.ComputeNodes() {
+		faults.StopDependency(n, "neutron-plugin-linuxbridge-agent")
+	}
+	h.Plan.Add(faults.Rule{
+		Service:     trace.SvcNovaCompute,
+		WhenDepDown: "neutron-plugin-linuxbridge-agent",
+		StepIndex:   -1,
+		Outcome: openstack.Outcome{Status: 1,
+			ErrText: "NoValidHost: No valid host was found. There are not enough hosts available."},
+	})
+
+	// Healthy parallel traffic, then the doomed VM create.
+	for _, op := range openstack.CoreOperations()[3:7] {
+		h.D.Start(op, nil)
+	}
+	h.D.Start(openstack.OpVMCreate(), nil)
+	h.Run(time.Hour)
+	h.Finish()
+
+	fmt.Println("What the operator sees on the dashboard:")
+	fmt.Println(`  "No valid host was found. There are not enough hosts available."`)
+	fmt.Println()
+	fmt.Println("What GRETEL reports:")
+	for _, rep := range h.Reports() {
+		fmt.Printf("  fault:        %v (upstream origin: %v)\n", rep.Fault.API, rep.OffendingAPI)
+		fmt.Printf("  operation:    %v\n", rep.Candidates)
+		fmt.Printf("  errors seen:  %d (RPC failure + relayed REST error analyzed together)\n", len(rep.Errors))
+		for _, rc := range rep.RootCauses {
+			fmt.Printf("  root cause:   %s\n", rc)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module gretel
+
+go 1.22

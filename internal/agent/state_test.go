@@ -1,0 +1,52 @@
+package agent
+
+import (
+	"testing"
+
+	"gretel/internal/cluster"
+	"gretel/internal/metrics"
+	"gretel/internal/simclock"
+	"gretel/internal/trace"
+)
+
+func TestCollectState(t *testing.T) {
+	sim := simclock.New()
+	f := cluster.NewFabric(sim, 3)
+	up := f.AddNode("nova-node", "10.0.0.3", trace.SvcNova)
+	down := f.AddNode("glance-node", "10.0.0.6", trace.SvcGlance)
+	down.Up = false
+	up.SetDependency("ntp", false)
+
+	u := CollectState(f, sim.Now())
+	if len(u.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(u.Nodes))
+	}
+	byName := map[string]NodeState{}
+	for _, n := range u.Nodes {
+		byName[n.Name] = n
+	}
+	if byName["glance-node"].Up {
+		t.Fatal("down node reported up")
+	}
+	ntpOK := true
+	for _, d := range byName["nova-node"].Deps {
+		if d.Name == "ntp" {
+			ntpOK = d.Running
+		}
+	}
+	if ntpOK {
+		t.Fatal("stopped ntp reported running")
+	}
+	// Samples only from live nodes: 5 metrics x 1 up node.
+	if len(u.Samples) != len(metrics.MetricNames) {
+		t.Fatalf("samples = %d, want %d", len(u.Samples), len(metrics.MetricNames))
+	}
+	for _, sm := range u.Samples {
+		if sm.Node != "nova-node" || !sm.Time.Equal(sim.Now()) {
+			t.Fatalf("sample from wrong node/time: %+v", sm)
+		}
+	}
+	if byName["nova-node"].MemTotalMB <= 0 {
+		t.Fatal("mem total missing")
+	}
+}

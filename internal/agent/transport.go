@@ -1,0 +1,248 @@
+// TCP transport: the Broccoli analogue (§6) carrying parsed events and
+// periodic distributed-state updates (collectd snapshots + watcher
+// status) from node agents to the analyzer service as kind-tagged,
+// length-prefixed JSON frames. TCP preserves per-agent ordering, which
+// the event receiver relies on (§5.2).
+
+package agent
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"gretel/internal/trace"
+)
+
+// MaxFrame bounds a single encoded frame (defense against corrupt
+// length prefixes).
+const MaxFrame = 1 << 22
+
+// Frame kinds on the wire.
+const (
+	frameEvent byte = 'E'
+	frameState byte = 'S'
+)
+
+func writeFrame(w io.Writer, kind byte, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("agent: encoding frame: %w", err)
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	kind := hdr[0]
+	if kind != frameEvent && kind != frameState {
+		return 0, nil, fmt.Errorf("agent: unknown frame kind %q", kind)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("agent: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return kind, body, nil
+}
+
+// WriteEvent encodes one event frame.
+func WriteEvent(w io.Writer, ev *trace.Event) error {
+	return writeFrame(w, frameEvent, ev)
+}
+
+// WriteState encodes one state-update frame.
+func WriteState(w io.Writer, u *StateUpdate) error {
+	return writeFrame(w, frameState, u)
+}
+
+// ReadEvent decodes one frame, which must be an event frame (test and
+// single-purpose consumers; the Receiver handles mixed streams).
+func ReadEvent(r io.Reader) (trace.Event, error) {
+	kind, body, err := readFrame(r)
+	if err != nil {
+		return trace.Event{}, err
+	}
+	if kind != frameEvent {
+		return trace.Event{}, fmt.Errorf("agent: expected event frame, got %q", kind)
+	}
+	var ev trace.Event
+	if err := json.Unmarshal(body, &ev); err != nil {
+		return trace.Event{}, fmt.Errorf("agent: decoding event: %w", err)
+	}
+	return ev, nil
+}
+
+// Sender streams events to the analyzer over one TCP connection. Its Send
+// method is safe for concurrent use and satisfies the Sink signature.
+type Sender struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	err  error
+}
+
+// Dial connects a sender to the analyzer's event listener.
+func Dial(addr string) (*Sender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: dialing analyzer: %w", err)
+	}
+	return &Sender{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}, nil
+}
+
+// Send writes one event; errors are sticky and reported by Close.
+func (s *Sender) Send(ev trace.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = WriteEvent(s.bw, &ev)
+}
+
+// SendState writes one state update; errors are sticky.
+func (s *Sender) SendState(u StateUpdate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = WriteState(s.bw, &u)
+}
+
+// Flush pushes buffered frames to the socket.
+func (s *Sender) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// Close flushes and closes the connection, returning the first error
+// encountered during the sender's lifetime.
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bw != nil {
+		if err := s.bw.Flush(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	if cerr := s.conn.Close(); cerr != nil && s.err == nil {
+		s.err = cerr
+	}
+	return s.err
+}
+
+// Receiver accepts agent connections and forwards their events, in
+// per-connection arrival order, to a single handler goroutine.
+type Receiver struct {
+	ln      net.Listener
+	events  chan trace.Event
+	states  chan StateUpdate
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// Listen starts a receiver on addr (e.g. ":6166").
+func Listen(addr string) (*Receiver, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: listening on %s: %w", addr, err)
+	}
+	r := &Receiver{
+		ln:      ln,
+		events:  make(chan trace.Event, 4096),
+		states:  make(chan StateUpdate, 64),
+		closing: make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the bound listen address.
+func (r *Receiver) Addr() string { return r.ln.Addr().String() }
+
+// Events is the merged event stream. It closes after Close is called and
+// all connections drain.
+func (r *Receiver) Events() <-chan trace.Event { return r.events }
+
+// States is the merged state-update stream. It closes with the receiver.
+func (r *Receiver) States() <-chan StateUpdate { return r.states }
+
+func (r *Receiver) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go r.serve(conn)
+	}
+}
+
+func (r *Receiver) serve(conn net.Conn) {
+	defer r.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			return // EOF or broken frame: drop the connection
+		}
+		switch kind {
+		case frameEvent:
+			var ev trace.Event
+			if json.Unmarshal(body, &ev) != nil {
+				return
+			}
+			select {
+			case r.events <- ev:
+			case <-r.closing:
+				return
+			}
+		case frameState:
+			var u StateUpdate
+			if json.Unmarshal(body, &u) != nil {
+				return
+			}
+			select {
+			case r.states <- u:
+			case <-r.closing:
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting, terminates connection readers, and closes the
+// event channel once they exit.
+func (r *Receiver) Close() {
+	close(r.closing)
+	r.ln.Close()
+	r.wg.Wait()
+	close(r.events)
+	close(r.states)
+}

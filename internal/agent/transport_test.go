@@ -1,0 +1,221 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gretel/internal/trace"
+)
+
+func sampleEvent(seq uint64) trace.Event {
+	return trace.Event{
+		Seq:     seq,
+		Time:    time.Date(2016, 12, 12, 0, 0, 0, 0, time.UTC),
+		Type:    trace.RESTResponse,
+		API:     trace.RESTAPI(trace.SvcGlance, "PUT", "/v2/images/{id}/file"),
+		SrcNode: "glance-node", DstNode: "horizon-node",
+		ConnID: 42, Status: 413, ErrorText: "Request Entity Too Large",
+		WireBytes: 211, OpID: 7, OpName: "image-upload",
+	}
+}
+
+func TestWriteReadEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ev := sampleEvent(3)
+	if err := WriteEvent(&buf, &ev); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 3 || got.API != ev.API || got.Status != 413 ||
+		got.ErrorText != ev.ErrorText || got.OpName != "image-upload" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if !got.Time.Equal(ev.Time) {
+		t.Fatalf("time mismatch: %v", got.Time)
+	}
+}
+
+func TestReadEventRejectsHugeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadEvent(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadEventShortBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 'x'})
+	if _, err := ReadEvent(&buf); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestSenderReceiverEndToEnd(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := Dial(recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 500
+	go func() {
+		for i := uint64(1); i <= n; i++ {
+			sender.Send(sampleEvent(i))
+		}
+		sender.Close()
+	}()
+
+	var got []trace.Event
+	timeout := time.After(5 * time.Second)
+	for len(got) < n {
+		select {
+		case ev, ok := <-recv.Events():
+			if !ok {
+				t.Fatalf("receiver closed early after %d events", len(got))
+			}
+			got = append(got, ev)
+		case <-timeout:
+			t.Fatalf("timeout after %d events", len(got))
+		}
+	}
+	// Per-connection ordering must be preserved (§5.2).
+	for i := range got {
+		if got[i].Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d (order broken)", i, got[i].Seq)
+		}
+	}
+	recv.Close()
+}
+
+func TestMultipleSenders(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const senders, per = 4, 100
+	for s := 0; s < senders; s++ {
+		s := s
+		go func() {
+			snd, err := Dial(recv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < per; i++ {
+				ev := sampleEvent(uint64(s*per + i))
+				ev.SrcNode = "node-" + string(rune('a'+s))
+				snd.Send(ev)
+			}
+			snd.Close()
+		}()
+	}
+	count := 0
+	timeout := time.After(5 * time.Second)
+	for count < senders*per {
+		select {
+		case _, ok := <-recv.Events():
+			if !ok {
+				t.Fatalf("closed early at %d", count)
+			}
+			count++
+		case <-timeout:
+			t.Fatalf("timeout at %d events", count)
+		}
+	}
+	recv.Close()
+}
+
+func TestStateFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	u := StateUpdate{
+		Time: time.Date(2016, 12, 12, 0, 0, 5, 0, time.UTC),
+		Nodes: []NodeState{{
+			Name: "glance-node", Service: trace.SvcGlance, Up: true, MemTotalMB: 131072,
+			Deps: []DepStatus{{Node: "glance-node", Name: "ntp", Running: true}},
+		}},
+		Samples: []MetricSample{{Node: "glance-node", Metric: "disk_free_gb",
+			Time: time.Date(2016, 12, 12, 0, 0, 5, 0, time.UTC), Value: 0.6}},
+	}
+	if err := WriteState(&buf, &u); err != nil {
+		t.Fatal(err)
+	}
+	// ReadEvent must reject a state frame.
+	if _, err := ReadEvent(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadEvent accepted a state frame")
+	}
+	kind, body, err := readFrame(bytes.NewReader(buf.Bytes()))
+	if err != nil || kind != frameState {
+		t.Fatalf("kind=%q err=%v", kind, err)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty state body")
+	}
+}
+
+func TestMixedFrameStreamOverTCP(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := Dial(recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 50; i++ {
+			sender.Send(sampleEvent(uint64(i + 1)))
+			if i%10 == 0 {
+				sender.SendState(StateUpdate{Nodes: []NodeState{{Name: "n1", Up: true}}})
+			}
+		}
+		sender.Close()
+	}()
+	events, states := 0, 0
+	timeout := time.After(5 * time.Second)
+	for events < 50 || states < 5 {
+		select {
+		case _, ok := <-recv.Events():
+			if ok {
+				events++
+			}
+		case _, ok := <-recv.States():
+			if ok {
+				states++
+			}
+		case <-timeout:
+			t.Fatalf("timeout: %d events, %d states", events, states)
+		}
+	}
+	recv.Close()
+}
+
+func TestCollectStateAndStoreRoundTrip(t *testing.T) {
+	// CollectState over a fabric, applied to an rca.Store via the wire
+	// format, must reproduce dependency status (tested here only up to
+	// the agent package boundary: serialize/deserialize).
+	var buf bytes.Buffer
+	u := StateUpdate{Nodes: []NodeState{{Name: "c1", Up: false}}}
+	if err := WriteState(&buf, &u); err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err := readFrame(&buf)
+	if err != nil || kind != frameState {
+		t.Fatal("frame broken")
+	}
+	var got StateUpdate
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != 1 || got.Nodes[0].Name != "c1" || got.Nodes[0].Up {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

@@ -1,0 +1,196 @@
+package amqp
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Message {
+	return &Message{
+		MethodID:   BasicPublish,
+		Exchange:   "nova",
+		RoutingKey: "compute.compute-1",
+		Envelope: Envelope{
+			MsgID:   "msg-0001",
+			ReplyTo: "reply_nova_1",
+			Method:  "build_and_run_instance",
+			Args:    json.RawMessage(`{"instance_id":"i-1"}`),
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sample()
+	raw, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Fatalf("consumed %d of %d bytes", n, len(raw))
+	}
+	if got.MethodID != BasicPublish || got.Exchange != "nova" || got.RoutingKey != "compute.compute-1" {
+		t.Fatalf("routing mismatch: %+v", got)
+	}
+	if got.Envelope.MsgID != "msg-0001" || got.Envelope.Method != "build_and_run_instance" ||
+		got.Envelope.ReplyTo != "reply_nova_1" {
+		t.Fatalf("envelope mismatch: %+v", got.Envelope)
+	}
+	if string(got.Envelope.Args) != `{"instance_id":"i-1"}` {
+		t.Fatalf("args mismatch: %s", got.Envelope.Args)
+	}
+}
+
+func TestReplyWithFailure(t *testing.T) {
+	m := &Message{
+		MethodID:   BasicDeliver,
+		Exchange:   "",
+		RoutingKey: "reply_nova_1",
+		Envelope: Envelope{
+			MsgID:   "msg-0001",
+			Failure: "ComputeServiceUnavailable: No valid host was found",
+		},
+	}
+	raw, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Envelope.Failure == "" || got.Envelope.Method != "" {
+		t.Fatalf("failure reply mismatch: %+v", got.Envelope)
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 5; i++ {
+		m := sample()
+		m.Envelope.MsgID = string(rune('a' + i))
+		raw, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, raw...)
+	}
+	count := 0
+	for len(stream) > 0 {
+		m, n, err := Unmarshal(stream)
+		if err != nil {
+			t.Fatalf("message %d: %v", count, err)
+		}
+		if m.Envelope.MsgID != string(rune('a'+count)) {
+			t.Fatalf("message %d out of order: %q", count, m.Envelope.MsgID)
+		}
+		stream = stream[n:]
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("decoded %d messages, want 5", count)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	raw, err := Marshal(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, _, err := Unmarshal(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d parsed successfully", cut)
+		}
+	}
+}
+
+func TestCorruptFrameEnd(t *testing.T) {
+	raw, _ := Marshal(sample())
+	// Find the first frame's end marker and corrupt it.
+	// Frame: 1 type + 2 chan + 4 size + payload + end.
+	size := int(uint32(raw[3])<<24 | uint32(raw[4])<<16 | uint32(raw[5])<<8 | uint32(raw[6]))
+	endIdx := 7 + size
+	raw[endIdx] = 0x00
+	if _, _, err := Unmarshal(raw); !errors.Is(err, ErrBadEnd) {
+		t.Fatalf("err = %v, want ErrBadEnd", err)
+	}
+}
+
+func TestBadFrameType(t *testing.T) {
+	raw, _ := Marshal(sample())
+	raw[0] = 9
+	if _, _, err := Unmarshal(raw); err == nil {
+		t.Fatal("bad frame type accepted")
+	}
+}
+
+func TestWrongFrameOrder(t *testing.T) {
+	raw, _ := Marshal(sample())
+	// Flip the first frame's type from method to body.
+	raw[0] = FrameBody
+	_, _, err := Unmarshal(raw)
+	if err == nil {
+		t.Fatal("body-first message accepted")
+	}
+}
+
+func TestIsAMQP(t *testing.T) {
+	raw, _ := Marshal(sample())
+	if !IsAMQP(raw) {
+		t.Error("marshaled message not recognized")
+	}
+	if IsAMQP([]byte("GET / HTTP/1.1\r\n\r\n")) {
+		t.Error("HTTP recognized as AMQP")
+	}
+	if IsAMQP([]byte{1, 2}) {
+		t.Error("short buffer recognized as AMQP")
+	}
+}
+
+func TestLongStringsTruncatedTo255(t *testing.T) {
+	m := sample()
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'r'
+	}
+	m.RoutingKey = string(long)
+	raw, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.RoutingKey) != 255 {
+		t.Fatalf("routing key length = %d, want 255", len(got.RoutingKey))
+	}
+}
+
+// Property: round trip preserves exchange, routing key, msg id and method
+// for arbitrary printable strings up to short-string limits.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(exch, rk, msgID, method string) bool {
+		if len(exch) > 255 || len(rk) > 255 {
+			return true // skip: short strings truncate by design
+		}
+		m := &Message{MethodID: BasicDeliver, Exchange: exch, RoutingKey: rk,
+			Envelope: Envelope{MsgID: msgID, Method: method}}
+		raw, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, n, err := Unmarshal(raw)
+		return err == nil && n == len(raw) &&
+			got.Exchange == exch && got.RoutingKey == rk &&
+			got.Envelope.MsgID == msgID && got.Envelope.Method == method
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package amqp
+
+import "testing"
+
+// FuzzUnmarshal hardens the frame parser: arbitrary bytes must never
+// panic, and successful parses must re-marshal and re-parse stably.
+func FuzzUnmarshal(f *testing.F) {
+	good, _ := Marshal(&Message{
+		MethodID: BasicDeliver, Exchange: "nova", RoutingKey: "compute",
+		Envelope: Envelope{MsgID: "m1", Method: "build_and_run_instance"},
+	})
+	f.Add(good)
+	f.Add([]byte{FrameMethod, 0, 1, 0, 0, 0, 0, FrameEnd})
+	f.Add([]byte("HTTP/1.1 200 OK\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, n, err := Unmarshal(raw)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(raw) {
+			t.Fatalf("consumed %d of %d", n, len(raw))
+		}
+		re, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		m2, _, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if m2.Exchange != m.Exchange || m2.RoutingKey != m.RoutingKey ||
+			m2.Envelope.MsgID != m.Envelope.MsgID {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package bus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gretel/internal/amqp"
+)
+
+func msg(exchange, key string) *amqp.Message {
+	return &amqp.Message{
+		MethodID:   amqp.BasicPublish,
+		Exchange:   exchange,
+		RoutingKey: key,
+		Envelope:   amqp.Envelope{MsgID: "m1", Method: "ping"},
+	}
+}
+
+func TestMatchTopic(t *testing.T) {
+	cases := []struct {
+		pattern, key string
+		want         bool
+	}{
+		{"compute.compute-1", "compute.compute-1", true},
+		{"compute.compute-1", "compute.compute-2", false},
+		{"compute.*", "compute.compute-1", true},
+		{"compute.*", "compute", false},
+		{"compute.*", "compute.a.b", false},
+		{"compute.#", "compute", true},
+		{"compute.#", "compute.a.b.c", true},
+		{"#", "anything.at.all", true},
+		{"#", "", true}, // empty key is a single empty word; # matches all
+		{"*.info", "agent.info", true},
+		{"*.info", "agent.debug", false},
+		{"a.#.z", "a.z", true},
+		{"a.#.z", "a.b.c.z", true},
+		{"a.#.z", "a.b.c", false},
+		{"a.*.z", "a.b.z", true},
+		{"a.*.z", "a.b.c.z", false},
+	}
+	for _, c := range cases {
+		if got := MatchTopic(c.pattern, c.key); got != c.want {
+			t.Errorf("MatchTopic(%q, %q) = %v, want %v", c.pattern, c.key, got, c.want)
+		}
+	}
+}
+
+func TestDefaultExchangeRoutesToQueueByName(t *testing.T) {
+	b := New()
+	b.DeclareQueue("reply_q1")
+	got := 0
+	if err := b.Subscribe("reply_q1", Consumer{Node: "n1", Fn: func(*amqp.Message) { got++ }}); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Publish(msg("", "reply_q1")); n != 1 || got != 1 {
+		t.Fatalf("deliveries = %d, invoked = %d", n, got)
+	}
+}
+
+func TestUnroutableCounted(t *testing.T) {
+	b := New()
+	if n := b.Publish(msg("", "nowhere")); n != 0 {
+		t.Fatalf("unroutable delivered %d times", n)
+	}
+	if b.Unroutable != 1 || b.Published != 1 {
+		t.Fatalf("counters: published=%d unroutable=%d", b.Published, b.Unroutable)
+	}
+}
+
+func TestTopicBindingAndDeliverRewrite(t *testing.T) {
+	b := New()
+	b.Bind("nova", "compute.*", "q-compute-1")
+	var delivered *amqp.Message
+	b.Subscribe("q-compute-1", Consumer{Node: "compute-1", Fn: func(m *amqp.Message) { delivered = m }})
+	b.Publish(msg("nova", "compute.compute-1"))
+	if delivered == nil {
+		t.Fatal("no delivery")
+	}
+	if delivered.MethodID != amqp.BasicDeliver {
+		t.Fatalf("delivery MethodID = %d, want BasicDeliver", delivered.MethodID)
+	}
+	if delivered.Envelope.Method != "ping" {
+		t.Fatalf("envelope lost: %+v", delivered.Envelope)
+	}
+}
+
+func TestFanoutToMultipleQueues(t *testing.T) {
+	b := New()
+	b.Bind("neutron", "agent.#", "q-agent-a")
+	b.Bind("neutron", "agent.#", "q-agent-b")
+	hits := map[string]int{}
+	b.Subscribe("q-agent-a", Consumer{Node: "na", Fn: func(*amqp.Message) { hits["a"]++ }})
+	b.Subscribe("q-agent-b", Consumer{Node: "nb", Fn: func(*amqp.Message) { hits["b"]++ }})
+	if n := b.Publish(msg("neutron", "agent.port_update")); n != 2 {
+		t.Fatalf("deliveries = %d, want 2", n)
+	}
+	if hits["a"] != 1 || hits["b"] != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestRoundRobinConsumers(t *testing.T) {
+	b := New()
+	b.DeclareQueue("work")
+	hits := map[string]int{}
+	for _, tag := range []string{"w1", "w2", "w3"} {
+		tag := tag
+		b.Subscribe("work", Consumer{Node: tag, Tag: tag, Fn: func(*amqp.Message) { hits[tag]++ }})
+	}
+	for i := 0; i < 9; i++ {
+		b.Publish(msg("", "work"))
+	}
+	for _, tag := range []string{"w1", "w2", "w3"} {
+		if hits[tag] != 3 {
+			t.Fatalf("round robin uneven: %v", hits)
+		}
+	}
+}
+
+func TestSubscribeUndeclared(t *testing.T) {
+	b := New()
+	if err := b.Subscribe("ghost", Consumer{}); err == nil {
+		t.Fatal("subscribe to undeclared queue succeeded")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := New()
+	b.DeclareQueue("q")
+	n := 0
+	b.Subscribe("q", Consumer{Tag: "c1", Fn: func(*amqp.Message) { n++ }})
+	b.Publish(msg("", "q"))
+	b.Unsubscribe("q", "c1")
+	if got := b.Publish(msg("", "q")); got != 0 {
+		t.Fatalf("delivered to unsubscribed consumer: %d", got)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+	if b.Consumers("q") != 0 {
+		t.Fatalf("Consumers = %d, want 0", b.Consumers("q"))
+	}
+}
+
+func TestDeleteQueueRemovesBindings(t *testing.T) {
+	b := New()
+	b.Bind("nova", "compute.#", "q1")
+	b.DeleteQueue("q1")
+	if n := b.Publish(msg("nova", "compute.x")); n != 0 {
+		t.Fatalf("deleted queue still routed: %d", n)
+	}
+}
+
+func TestDuplicateBindingIgnored(t *testing.T) {
+	b := New()
+	b.Bind("nova", "compute.#", "q1")
+	b.Bind("nova", "compute.#", "q1")
+	n := 0
+	b.Subscribe("q1", Consumer{Fn: func(*amqp.Message) { n++ }})
+	b.Publish(msg("nova", "compute.x"))
+	if n != 1 {
+		t.Fatalf("duplicate binding caused %d deliveries", n)
+	}
+}
+
+func TestQueueWithNoConsumersDropsButRoutes(t *testing.T) {
+	b := New()
+	b.Bind("nova", "compute.#", "q1")
+	if n := b.Publish(msg("nova", "compute.x")); n != 0 {
+		t.Fatalf("consumerless queue delivered %d", n)
+	}
+	// Not counted unroutable: the queue matched.
+	if b.Unroutable != 0 {
+		t.Fatalf("Unroutable = %d, want 0", b.Unroutable)
+	}
+}
+
+func TestRouteDeterministicOrder(t *testing.T) {
+	b := New()
+	b.Bind("e", "k", "zq")
+	b.Bind("e", "k", "aq")
+	b.Subscribe("zq", Consumer{Node: "z"})
+	b.Subscribe("aq", Consumer{Node: "a"})
+	ds := b.Route(msg("e", "k"))
+	if len(ds) != 2 || ds[0].Queue != "aq" || ds[1].Queue != "zq" {
+		t.Fatalf("route order not deterministic: %+v", ds)
+	}
+}
+
+func TestDeliveryDoesNotAliasPublished(t *testing.T) {
+	b := New()
+	b.DeclareQueue("q")
+	b.Subscribe("q", Consumer{Node: "n"})
+	m := msg("", "q")
+	ds := b.Route(m)
+	if len(ds) != 1 {
+		t.Fatal("no route")
+	}
+	if ds[0].Message == m {
+		t.Fatal("delivery aliases the published message")
+	}
+	if m.MethodID != amqp.BasicPublish {
+		t.Fatal("published message mutated")
+	}
+}
+
+// Property: "#" matches every key; exact patterns match only themselves;
+// "*"-per-segment patterns match keys of equal segment count.
+func TestQuickMatchTopic(t *testing.T) {
+	mkKey := func(raw []uint8) string {
+		if len(raw) == 0 {
+			return "x"
+		}
+		if len(raw) > 5 {
+			raw = raw[:5]
+		}
+		segs := make([]string, len(raw))
+		for i, b := range raw {
+			segs[i] = string(rune('a' + b%4))
+		}
+		return strings.Join(segs, ".")
+	}
+	f := func(rawA, rawB []uint8) bool {
+		a, b := mkKey(rawA), mkKey(rawB)
+		if !MatchTopic("#", a) {
+			return false
+		}
+		if !MatchTopic(a, a) {
+			return false
+		}
+		if MatchTopic(a, b) && a != b {
+			// Exact patterns (no wildcards here) must only match equals.
+			return false
+		}
+		// All-star pattern of the same arity matches.
+		nSegs := strings.Count(a, ".") + 1
+		stars := strings.TrimSuffix(strings.Repeat("*.", nSegs), ".")
+		return MatchTopic(stars, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package capture bridges the simulated fabric and standard pcap files:
+// a Recorder taps fabric traffic, wraps each message in checksummed
+// Ethernet/IPv4/TCP framing, and writes libpcap records; Replay walks a
+// pcap back into monitor-consumable packets. Together they reproduce the
+// paper's capture pipeline (Bro reading packets, tcpreplay replaying
+// them) against files any standard tool can read.
+package capture
+
+import (
+	"fmt"
+	"io"
+
+	"gretel/internal/cluster"
+	"gretel/internal/packet"
+	"gretel/internal/pcap"
+)
+
+// Recorder is a fabric tap writing every delivered message to a pcap
+// stream. Errors are sticky (captures are best-effort observers; the
+// simulation must not fail because a disk filled).
+type Recorder struct {
+	w      *pcap.Writer
+	ipSeq  uint16
+	Frames uint64
+	Err    error
+}
+
+// NewRecorder wraps an output stream.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: pcap.NewWriter(w)}
+}
+
+// Tap implements cluster.TapFn.
+func (r *Recorder) Tap(pkt cluster.Packet) {
+	if r.Err != nil {
+		return
+	}
+	f, err := packet.Build(pkt.SrcAddr, pkt.DstAddr, pkt.Payload)
+	if err != nil {
+		r.Err = fmt.Errorf("capture: framing %s->%s: %w", pkt.SrcAddr, pkt.DstAddr, err)
+		return
+	}
+	r.ipSeq++
+	f.IP.ID = r.ipSeq
+	// Thread the simulator's connection id through the TCP sequence
+	// number so replay can recover exact connection identity; standard
+	// tools just see a sequence number.
+	f.TCP.Seq = uint32(pkt.ConnID)
+	if r.Err = r.w.WritePacket(pkt.Time, f.Marshal()); r.Err == nil {
+		r.Frames++
+	}
+}
+
+// Flush finalizes the capture (writes the header even if no packets).
+func (r *Recorder) Flush() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return r.w.Flush()
+}
+
+// NodeResolver maps an IPv4 address (dotted quad, no port) to a
+// deployment node name. Replay uses it to restore the node labels
+// monitoring events carry; unknown addresses fall back to the IP string.
+type NodeResolver func(ip string) string
+
+// ResolverFromFabric builds a NodeResolver from a fabric's node table.
+func ResolverFromFabric(f *cluster.Fabric) NodeResolver {
+	byIP := map[string]string{}
+	for _, n := range f.Nodes() {
+		byIP[n.IP] = n.Name
+	}
+	return func(ip string) string {
+		if name, ok := byIP[ip]; ok {
+			return name
+		}
+		return ip
+	}
+}
+
+// Replay decodes a pcap stream and emits each frame as a cluster.Packet.
+// Connection identity prefers the recorded TCP sequence number (written
+// by Recorder) and falls back to a symmetric flow hash for foreign
+// captures. Returns the number of frames replayed.
+func Replay(rd io.Reader, resolve NodeResolver, emit func(cluster.Packet)) (int, error) {
+	pr, err := pcap.NewReader(rd)
+	if err != nil {
+		return 0, err
+	}
+	if pr.LinkType != pcap.LinkTypeEthernet {
+		return 0, fmt.Errorf("capture: unsupported link type %d", pr.LinkType)
+	}
+	if resolve == nil {
+		resolve = func(ip string) string { return ip }
+	}
+	n := 0
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		f, err := packet.Parse(rec.Data)
+		if err != nil {
+			return n, fmt.Errorf("capture: frame %d: %w", n+1, err)
+		}
+		connID := uint64(f.TCP.Seq)
+		if connID == 0 {
+			connID = f.FlowID()
+		}
+		srcIP := fmt.Sprintf("%d.%d.%d.%d", f.IP.Src[0], f.IP.Src[1], f.IP.Src[2], f.IP.Src[3])
+		dstIP := fmt.Sprintf("%d.%d.%d.%d", f.IP.Dst[0], f.IP.Dst[1], f.IP.Dst[2], f.IP.Dst[3])
+		emit(cluster.Packet{
+			Time:    rec.Time,
+			SrcNode: resolve(srcIP),
+			DstNode: resolve(dstIP),
+			SrcAddr: f.SrcAddr(),
+			DstAddr: f.DstAddr(),
+			ConnID:  connID,
+			Payload: f.Payload,
+		})
+		n++
+	}
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"gretel/internal/simclock"
+	"gretel/internal/trace"
+)
+
+func newTestFabric() *Fabric {
+	return NewFabric(simclock.New(), 42)
+}
+
+func TestAddAndLookupNodes(t *testing.T) {
+	f := newTestFabric()
+	f.AddNode("nova-node", "10.0.0.3", trace.SvcNova)
+	f.AddNode("neutron-node", "10.0.0.4", trace.SvcNeutron)
+	if f.Node("nova-node") == nil || f.Node("ghost") != nil {
+		t.Fatal("Node lookup broken")
+	}
+	if got := f.NodeFor(trace.SvcNeutron); got == nil || got.Name != "neutron-node" {
+		t.Fatalf("NodeFor(neutron) = %v", got)
+	}
+	if f.NodeFor(trace.SvcGlance) != nil {
+		t.Fatal("NodeFor found a service with no node")
+	}
+	nodes := f.Nodes()
+	if len(nodes) != 2 || nodes[0].Name != "neutron-node" || nodes[1].Name != "nova-node" {
+		t.Fatalf("Nodes() order wrong: %v", nodes)
+	}
+}
+
+func TestDefaultDependencies(t *testing.T) {
+	f := newTestFabric()
+	n := f.AddNode("n1", "10.0.0.1", trace.SvcNova)
+	for _, dep := range []string{"ntp", "mysql-conn", "rabbitmq-conn"} {
+		d := n.Dependency(dep)
+		if d == nil || !d.Running {
+			t.Errorf("default dependency %q missing or stopped", dep)
+		}
+	}
+}
+
+func TestSetDependency(t *testing.T) {
+	f := newTestFabric()
+	n := f.AddNode("c1", "10.0.0.9", trace.SvcNovaCompute)
+	n.AddDependency("neutron-plugin-linuxbridge-agent")
+	n.SetDependency("neutron-plugin-linuxbridge-agent", false)
+	if n.Dependency("neutron-plugin-linuxbridge-agent").Running {
+		t.Fatal("dependency still running after stop")
+	}
+	n.SetDependency("brand-new", false)
+	if d := n.Dependency("brand-new"); d == nil || d.Running {
+		t.Fatal("SetDependency did not create stopped dep")
+	}
+	deps := n.Dependencies()
+	for i := 1; i < len(deps); i++ {
+		if deps[i-1].Name > deps[i].Name {
+			t.Fatal("Dependencies() not sorted")
+		}
+	}
+}
+
+func TestSampleReflectsLoadAndSurge(t *testing.T) {
+	f := newTestFabric()
+	n := f.AddNode("neutron-node", "10.0.0.4", trace.SvcNeutron)
+	idle := n.Sample()
+	n.ActiveOps = 100
+	loaded := n.Sample()
+	if loaded.CPUPercent <= idle.CPUPercent {
+		t.Fatalf("CPU did not rise with load: %v -> %v", idle.CPUPercent, loaded.CPUPercent)
+	}
+	n.ActiveOps = 0
+	n.CPUSurge = 60
+	surged := n.Sample()
+	if surged.CPUPercent < 50 {
+		t.Fatalf("CPU surge not reflected: %v", surged.CPUPercent)
+	}
+	n.CPUSurge = 1000
+	if capped := n.Sample(); capped.CPUPercent > 100 {
+		t.Fatalf("CPU above 100%%: %v", capped.CPUPercent)
+	}
+}
+
+func TestSendDeliversAfterLatencyAndTaps(t *testing.T) {
+	f := newTestFabric()
+	a := f.AddNode("a", "10.0.0.1", trace.SvcHorizon)
+	b := f.AddNode("b", "10.0.0.2", trace.SvcNova)
+	var tapped, delivered *Packet
+	f.Tap(func(p Packet) { tapped = &p })
+	payload := []byte("GET /v2.1/servers HTTP/1.1\r\n\r\n")
+	err := f.Send("a", "b", Addr(a, 40000), Addr(b, 8774), 7, payload, func(p Packet) { delivered = &p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != nil {
+		t.Fatal("delivered before latency elapsed")
+	}
+	f.Sim.Run()
+	if delivered == nil || tapped == nil {
+		t.Fatal("packet not delivered or not tapped")
+	}
+	if delivered.ConnID != 7 || string(delivered.Payload) != string(payload) {
+		t.Fatalf("delivered packet mangled: %+v", delivered)
+	}
+	if tapped.SrcAddr != "10.0.0.1:40000" || tapped.DstAddr != "10.0.0.2:8774" {
+		t.Fatalf("tap addresses wrong: %+v", tapped)
+	}
+	if !delivered.Time.After(simclock.Epoch) {
+		t.Fatal("delivery time not after send time")
+	}
+	if f.Delivered != 1 || f.Bytes != uint64(len(payload)) {
+		t.Fatalf("counters: %d packets %d bytes", f.Delivered, f.Bytes)
+	}
+}
+
+func TestSendToDownNode(t *testing.T) {
+	f := newTestFabric()
+	f.AddNode("a", "10.0.0.1", trace.SvcHorizon)
+	b := f.AddNode("b", "10.0.0.2", trace.SvcNova)
+	b.Up = false
+	err := f.Send("a", "b", "x", "y", 1, nil, nil)
+	if _, ok := err.(ErrNodeDown); !ok {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	f := newTestFabric()
+	f.AddNode("a", "10.0.0.1", trace.SvcHorizon)
+	if err := f.Send("a", "ghost", "x", "y", 1, nil, nil); err == nil {
+		t.Fatal("send to unknown node succeeded")
+	}
+	if err := f.Send("ghost", "a", "x", "y", 1, nil, nil); err == nil {
+		t.Fatal("send from unknown node succeeded")
+	}
+}
+
+func TestInjectLatencyDelaysDelivery(t *testing.T) {
+	f := newTestFabric()
+	f.AddNode("a", "10.0.0.1", trace.SvcHorizon)
+	f.AddNode("glance-node", "10.0.0.6", trace.SvcGlance)
+
+	var plainAt, slowAt time.Time
+	f.Send("a", "glance-node", "x", "y", 1, nil, func(p Packet) { plainAt = p.Time })
+	f.Sim.Run()
+
+	f.InjectLatency("glance-node", 50*time.Millisecond)
+	if f.InjectedLatency("glance-node") != 50*time.Millisecond {
+		t.Fatal("InjectedLatency not recorded")
+	}
+	start := f.Sim.Now()
+	f.Send("a", "glance-node", "x", "y", 2, nil, func(p Packet) { slowAt = p.Time })
+	f.Sim.Run()
+	if slowAt.Sub(start) < 50*time.Millisecond {
+		t.Fatalf("injected latency not applied: took %v", slowAt.Sub(start))
+	}
+	_ = plainAt
+
+	f.InjectLatency("glance-node", 0)
+	if f.InjectedLatency("glance-node") != 0 {
+		t.Fatal("latency injection not cleared")
+	}
+}
+
+func TestConnAndPortAllocation(t *testing.T) {
+	f := newTestFabric()
+	c1, c2 := f.NewConnID(), f.NewConnID()
+	if c1 == c2 {
+		t.Fatal("conn ids collide")
+	}
+	p1, p2 := f.EphemeralPort(), f.EphemeralPort()
+	if p1 == p2 || p1 < 33000 || p1 > 60999 {
+		t.Fatalf("ports: %d %d", p1, p2)
+	}
+}
+
+func TestEphemeralPortWraps(t *testing.T) {
+	f := newTestFabric()
+	f.nextPort = 60999
+	if p := f.EphemeralPort(); p != 33000 {
+		t.Fatalf("wrap port = %d, want 33000", p)
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	f1 := NewFabric(simclock.New(), 1)
+	f2 := NewFabric(simclock.New(), 1)
+	n1 := f1.AddNode("same-name", "10.0.0.1", trace.SvcNova)
+	n2 := f2.AddNode("same-name", "10.0.0.1", trace.SvcNova)
+	for i := 0; i < 10; i++ {
+		a, b := n1.Sample(), n2.Sample()
+		if a != b {
+			t.Fatalf("samples diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestServicePortsCoverServices(t *testing.T) {
+	for _, svc := range trace.Services() {
+		if ServicePorts[svc] == 0 {
+			t.Errorf("no port for %v", svc)
+		}
+	}
+}

@@ -1,0 +1,597 @@
+// Package core implements the GRETEL analyzer service (§5): the event
+// receiver, the anomaly detector for operational and performance faults,
+// and Algorithm 2's operation-detection mechanism — dual-buffer sliding
+// window, freeze-on-fault snapshots, truncated-fingerprint matching over
+// a growing context buffer, and the precision metric θ.
+//
+// The analyzer consumes trace.Events from monitoring agents in arrival
+// order (TCP from each agent preserves per-stream order, §5.2), pairs
+// requests with responses to compute per-API latencies, detects REST
+// error statuses and RPC failures with lightweight checks, and — only when
+// a fault is present — spawns operation detection against the fingerprint
+// library, followed by optional root-cause analysis.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gretel/internal/fingerprint"
+	"gretel/internal/stats"
+	"gretel/internal/trace"
+	"gretel/internal/tsoutliers"
+	"gretel/internal/window"
+)
+
+// FaultKind distinguishes the two fault classes GRETEL localizes.
+type FaultKind uint8
+
+const (
+	// Operational faults are API error responses (§3).
+	Operational FaultKind = iota + 1
+	// Performance faults are anomalous API latencies.
+	Performance
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case Operational:
+		return "operational"
+	case Performance:
+		return "performance"
+	default:
+		return "unknown"
+	}
+}
+
+// RootCause is one finding of the root-cause analysis engine, attached to
+// a report by the configured RCA hook.
+type RootCause struct {
+	Node   string
+	Kind   string // "resource" or "software"
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (r RootCause) String() string {
+	return fmt.Sprintf("%s: %s (%s)", r.Node, r.Detail, r.Kind)
+}
+
+// Report is the analyzer's output for one detected fault.
+type Report struct {
+	Kind FaultKind
+	// Fault is the offending message: the error event for operational
+	// faults, the slow response for performance faults.
+	Fault trace.Event
+	// OffendingAPI is the API used for candidate selection — the earliest
+	// error in the snapshot for operational faults (an upstream RPC error
+	// takes precedence over the REST error that relayed it).
+	OffendingAPI trace.API
+	// Errors lists every error event found in the snapshot (REST and
+	// RPC together, §5.3.1), for root-cause analysis.
+	Errors []trace.Event
+	// Candidates is the final matched operation set (the paper's n).
+	Candidates []string
+	// CandidatesByErrorOnly counts operations matched on just the error
+	// API, without the snapshot (Fig 7b/7c "With API error").
+	CandidatesByErrorOnly int
+	// Precision is θ = (N-n)/(N-1).
+	Precision float64
+	// Beta is the final context-buffer size used.
+	Beta int
+	// Latency carries the anomalous latency for performance faults.
+	Latency time.Duration
+	// DetectedAt is the receiver time when the report was produced;
+	// ReportDelay is DetectedAt minus the fault message's capture time.
+	DetectedAt  time.Time
+	ReportDelay time.Duration
+	// RootCauses is filled by the RCA hook, if configured.
+	RootCauses []RootCause
+
+	// TruthOp is ground truth (evaluation only): the operation that
+	// actually contained the fault.
+	TruthOp string
+}
+
+// Hit reports whether ground truth is among the candidates (evaluation).
+func (r *Report) Hit() bool {
+	for _, c := range r.Candidates {
+		if c == r.TruthOp {
+			return true
+		}
+	}
+	return false
+}
+
+// Config tunes the analyzer. Zero values take the paper's §7 settings.
+type Config struct {
+	// Alpha is the sliding-window size (paper: 768). If zero it is
+	// derived as window.Alpha(FPmax, Prate, T).
+	Alpha int
+	// Prate and T feed the α computation when Alpha is zero.
+	Prate float64
+	T     float64
+	// C1 and C2 set the context buffer start (β₀ = c1·α) and growth step
+	// (δ = c2·α); paper: 0.1 and 0.04.
+	C1, C2 float64
+	// PruneRPC drops RPC symbols from fingerprints and snapshots before
+	// matching (the §6 optimization). Default true.
+	PruneRPC bool
+	// DisablePruneRPC turns PruneRPC off explicitly (Fig 7c ablation).
+	DisablePruneRPC bool
+	// StrictMatch uses the full-sequence matcher instead of the relaxed
+	// state-change matcher (ablation).
+	StrictMatch bool
+	// SnapshotOnRPCErrors also arms snapshots for RPC failures instead of
+	// waiting for the relayed REST error (ablation; default off, §5.3.1
+	// "Improving precision").
+	SnapshotOnRPCErrors bool
+	// GrowToCover disables the §5.3.1 stop rule (stop growing the
+	// context buffer as soon as the matched set grows) and always grows
+	// to the whole window. Default off: the paper's rule keeps the
+	// matched set tight; growing to cover lets densely shared API symbols
+	// from concurrent operations satisfy almost every candidate's
+	// in-order test, inflating n (the ablation bench quantifies this).
+	GrowToCover bool
+	// UseCorrelationIDs restricts snapshot matching to events sharing the
+	// fault's correlation identifier when one is present — the §5.3.1
+	// extension ("GRETEL can exploit these correlation identifiers to
+	// increase its precision by reducing the number of packets against
+	// which a fingerprint is matched"). Requires a deployment that stamps
+	// X-Openstack-Request-Id.
+	UseCorrelationIDs bool
+	// Latency configures the per-API level-shift detectors.
+	Latency tsoutliers.Options
+	// PerfDetection enables operation detection for latency alarms.
+	PerfDetection bool
+	// PerfCooldown suppresses further performance snapshots for an API
+	// within this window of the previous one, so a sustained anomaly does
+	// not spawn a snapshot per affected exchange (default 30s; negative
+	// disables the cooldown).
+	PerfCooldown time.Duration
+	// TotalOps overrides N in θ; defaults to the library size.
+	TotalOps int
+}
+
+func (c *Config) defaults(lib *fingerprint.Library) {
+	if c.Alpha == 0 {
+		fpMax := lib.MaxLen()
+		if fpMax == 0 {
+			fpMax = 384
+		}
+		prate := c.Prate
+		if prate == 0 {
+			prate = 150
+		}
+		t := c.T
+		if t == 0 {
+			t = 1
+		}
+		c.Alpha = window.Alpha(fpMax, prate, t)
+	}
+	if c.C1 == 0 {
+		c.C1 = 0.1
+	}
+	if c.C2 == 0 {
+		c.C2 = 0.04
+	}
+	c.PruneRPC = !c.DisablePruneRPC
+	if c.TotalOps == 0 {
+		c.TotalOps = lib.Len()
+	}
+	if c.PerfCooldown == 0 {
+		c.PerfCooldown = 30 * time.Second
+	}
+	if c.Latency.MinSpread == 0 {
+		// API latencies are tens of milliseconds; floor the spread at 5ms
+		// so micro-jitter never alarms.
+		c.Latency.MinSpread = 5e-3
+	}
+}
+
+// Stats counts analyzer work for the throughput experiments.
+type Stats struct {
+	Events       uint64
+	Bytes        uint64
+	RESTPairs    uint64
+	RPCPairs     uint64
+	Faults       uint64
+	PerfAlarms   uint64
+	Snapshots    uint64
+	Reports      uint64
+	FalseNegs    uint64 // faults whose API had no fingerprint candidates
+	MatchedTotal uint64 // sum of candidate-set sizes across reports
+}
+
+type pendingReq struct {
+	at  time.Time
+	api trace.API
+}
+
+// Analyzer is the central GRETEL service.
+type Analyzer struct {
+	cfg Config
+	lib *fingerprint.Library
+
+	win          *window.Dual
+	pending      map[uint64]pendingReq // REST pairing by connection
+	calls        map[string]pendingReq // RPC pairing by message id
+	latBank      *tsoutliers.Bank
+	latStats     map[trace.API]*stats.Summary
+	lastPerfSnap map[trace.API]time.Time
+
+	// leanCache caches RPC-pruned fingerprints by name.
+	leanCache map[string]*fingerprint.Fingerprint
+
+	onReport func(*Report)
+	rca      func(*Report) []RootCause
+
+	reports []*Report
+	Stats   Stats
+}
+
+// New builds an analyzer over a learned fingerprint library.
+func New(lib *fingerprint.Library, cfg Config) *Analyzer {
+	cfg.defaults(lib)
+	return &Analyzer{
+		cfg:          cfg,
+		lib:          lib,
+		win:          window.New(cfg.Alpha),
+		pending:      make(map[uint64]pendingReq),
+		calls:        make(map[string]pendingReq),
+		latBank:      tsoutliers.NewBank(cfg.Latency),
+		latStats:     make(map[trace.API]*stats.Summary),
+		lastPerfSnap: make(map[trace.API]time.Time),
+		leanCache:    make(map[string]*fingerprint.Fingerprint),
+	}
+}
+
+// Config returns the effective configuration (with defaults resolved).
+func (a *Analyzer) Config() Config { return a.cfg }
+
+// OnReport registers a callback invoked for every report as it is
+// produced.
+func (a *Analyzer) OnReport(fn func(*Report)) { a.onReport = fn }
+
+// SetRCA installs the root-cause analysis hook (Algorithm 3, implemented
+// in the rca package).
+func (a *Analyzer) SetRCA(fn func(*Report) []RootCause) { a.rca = fn }
+
+// Reports returns all reports produced so far.
+func (a *Analyzer) Reports() []*Report { return a.reports }
+
+// Ingest processes one event from the monitoring agents. It must be
+// called from a single goroutine (the event receiver).
+func (a *Analyzer) Ingest(ev trace.Event) {
+	a.Stats.Events++
+	a.Stats.Bytes += uint64(ev.WireBytes)
+	if ev.Seq == 0 {
+		ev.Seq = a.Stats.Events
+	}
+
+	// Request/response pairing and latency measurement (§5.3: REST by
+	// TCP connection metadata, RPC by message identifier).
+	var latency time.Duration
+	var havePair bool
+	switch ev.Type {
+	case trace.RESTRequest:
+		a.pending[ev.ConnID] = pendingReq{ev.Time, ev.API}
+	case trace.RESTResponse:
+		if req, ok := a.pending[ev.ConnID]; ok {
+			delete(a.pending, ev.ConnID)
+			latency = ev.Time.Sub(req.at)
+			havePair = true
+			a.Stats.RESTPairs++
+		}
+	case trace.RPCCall:
+		if ev.MsgID != "" {
+			a.calls[ev.MsgID] = pendingReq{ev.Time, ev.API}
+		}
+	case trace.RPCReply:
+		if req, ok := a.calls[ev.MsgID]; ok {
+			delete(a.calls, ev.MsgID)
+			latency = ev.Time.Sub(req.at)
+			havePair = true
+			a.Stats.RPCPairs++
+		}
+	}
+
+	a.win.Push(ev)
+
+	// Operational fault detection: error statuses found by the agents'
+	// regex scans. Snapshots are armed only for REST errors (RPC errors
+	// ride along inside the snapshot) unless configured otherwise.
+	if ev.Faulty() {
+		a.Stats.Faults++
+		if ev.Type == trace.RESTResponse || a.cfg.SnapshotOnRPCErrors {
+			a.armSnapshot(ev, Operational, 0)
+		}
+	}
+
+	// Performance fault detection: feed the paired latency to the per-API
+	// level-shift detector and the operator-facing summary.
+	if havePair && !ev.Faulty() {
+		sum := a.latStats[ev.API]
+		if sum == nil {
+			sum = stats.NewSummary()
+			a.latStats[ev.API] = sum
+		}
+		sum.Observe(latency.Seconds())
+		alarms := a.latBank.Observe(ev.API.String(), ev.Time, latency.Seconds())
+		if len(alarms) > 0 {
+			a.Stats.PerfAlarms += uint64(len(alarms))
+			if a.cfg.PerfDetection && a.perfSnapshotDue(ev.API, ev.Time) {
+				a.armSnapshot(ev, Performance, latency)
+			}
+		}
+	}
+}
+
+// LatencyDetector exposes the per-API latency detector (for experiment
+// plots of the adjusted series and level shifts).
+func (a *Analyzer) LatencyDetector(api trace.API) *tsoutliers.Detector {
+	return a.latBank.Detector(api.String())
+}
+
+// APILatency pairs an API with its latency summary.
+type APILatency struct {
+	API     trace.API
+	Summary *stats.Summary
+}
+
+// LatencySummaries returns per-API latency summaries sorted by p95
+// descending — the operator's view of the deployment's slowest APIs.
+func (a *Analyzer) LatencySummaries() []APILatency {
+	out := make([]APILatency, 0, len(a.latStats))
+	for api, sum := range a.latStats {
+		out = append(out, APILatency{api, sum})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		qi, qj := out[i].Summary.Quantile(0.95), out[j].Summary.Quantile(0.95)
+		if qi != qj {
+			return qi > qj
+		}
+		return out[i].API.String() < out[j].API.String()
+	})
+	return out
+}
+
+// perfSnapshotDue applies the per-API performance-snapshot cooldown.
+func (a *Analyzer) perfSnapshotDue(api trace.API, at time.Time) bool {
+	if a.cfg.PerfCooldown < 0 {
+		return true
+	}
+	if last, ok := a.lastPerfSnap[api]; ok && at.Sub(last) < a.cfg.PerfCooldown {
+		return false
+	}
+	a.lastPerfSnap[api] = at
+	return true
+}
+
+// Flush forces any armed snapshots to fire with the data already in the
+// window — called at end of stream.
+func (a *Analyzer) Flush() {
+	a.win.Flush()
+}
+
+func (a *Analyzer) armSnapshot(ev trace.Event, kind FaultKind, latency time.Duration) {
+	a.Stats.Snapshots++
+	a.win.Arm(func(snap *window.Snapshot) {
+		a.detect(ev, kind, latency, snap)
+	})
+}
+
+// snapshotSymbols builds the pattern string from context-buffer events:
+// one symbol per *request-side* message (responses repeat the API and
+// would only duplicate symbols), skipping RPC symbols when pruning. When
+// corrID is non-empty (correlation-id mode), only events stamped with it
+// contribute — the precision extension of §5.3.1.
+func (a *Analyzer) snapshotSymbols(events []trace.Event, corrID string) []rune {
+	out := make([]rune, 0, len(events))
+	for i := range events {
+		ev := &events[i]
+		if !ev.Type.Request() {
+			continue
+		}
+		if corrID != "" && ev.CorrID != corrID {
+			continue
+		}
+		if a.cfg.PruneRPC && ev.API.Kind == trace.RPC {
+			continue
+		}
+		r, ok := a.lib.Table.Lookup(ev.API)
+		if !ok {
+			continue // API never fingerprinted: cannot help matching
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// lean returns the fingerprint with RPC symbols pruned (cached), or the
+// fingerprint itself when pruning is off. The cache key includes the
+// truncation point: the same operation truncated at different offending
+// APIs yields different fingerprints.
+func (a *Analyzer) lean(fp *fingerprint.Fingerprint, offending rune) *fingerprint.Fingerprint {
+	if !a.cfg.PruneRPC {
+		return fp
+	}
+	key := fp.Name + "@" + string(offending)
+	if c, ok := a.leanCache[key]; ok {
+		return c
+	}
+	c := fp.WithoutRPC(a.lib.Table)
+	a.leanCache[key] = c
+	return c
+}
+
+func (a *Analyzer) match(fp *fingerprint.Fingerprint, pattern []rune, idx *fingerprint.SnapshotIndex, corrFiltered bool) bool {
+	if fp.Len() == 0 {
+		return false
+	}
+	if a.cfg.StrictMatch {
+		return fp.MatchStrict(pattern)
+	}
+	if corrFiltered {
+		// The pattern holds one operation's own messages; require real
+		// in-order evidence beyond the offending symbol alone.
+		return fp.MatchCorrelated(idx)
+	}
+	return fp.MatchRelaxedIndexed(idx)
+}
+
+// detect runs Algorithm 2 over a filled snapshot.
+func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Duration, snap *window.Snapshot) {
+	rep := &Report{
+		Kind:       kind,
+		Fault:      faultEv,
+		Latency:    latency,
+		DetectedAt: snap.Events[len(snap.Events)-1].Time,
+		TruthOp:    faultEv.OpName,
+	}
+	rep.ReportDelay = rep.DetectedAt.Sub(faultEv.Time)
+
+	// Gather every error message in the snapshot (REST and RPC are
+	// analyzed together, §5.3.1); the earliest is the most upstream
+	// manifestation and selects the offending API.
+	offending := faultEv.API
+	if kind == Operational {
+		for i := range snap.Events {
+			ev := &snap.Events[i]
+			if ev.Faulty() {
+				rep.Errors = append(rep.Errors, *ev)
+			}
+		}
+		if len(rep.Errors) > 0 {
+			first := rep.Errors[0]
+			if first.OpID == faultEv.OpID && !first.API.Zero() {
+				offending = first.API
+			}
+		}
+	}
+	rep.OffendingAPI = offending
+
+	// Candidate operations: fingerprints containing the offending API
+	// (distinct operation names; branched operations register one
+	// fingerprint per variant).
+	cands := a.lib.CandidatesForAPI(offending)
+	uniqueNames := map[string]bool{}
+	for _, c := range cands {
+		uniqueNames[c.Name] = true
+	}
+	rep.CandidatesByErrorOnly = len(uniqueNames)
+	if len(cands) == 0 {
+		a.Stats.FalseNegs++
+		rep.Precision = 0
+		a.finish(rep)
+		return
+	}
+	offSym, _ := a.lib.Table.Lookup(offending)
+
+	// Prepare the per-candidate patterns: operational faults match the
+	// truncated fingerprint (the operation stopped at the fault);
+	// performance faults match the whole fingerprint against the whole
+	// buffer (the operation proceeds to completion).
+	preps := make([]prepared, 0, len(cands))
+	for _, c := range cands {
+		fp := c
+		key := rune(0)
+		if kind == Operational {
+			if t := c.Truncate(offSym); t != nil {
+				fp = t
+				key = offSym
+			}
+		}
+		fp = a.lean(fp, key)
+		preps = append(preps, prepared{c.Name, fp})
+	}
+
+	var matched []string
+	var beta int
+	corrID := ""
+	if a.cfg.UseCorrelationIDs {
+		corrID = faultEv.CorrID
+	}
+	if kind == Performance {
+		beta = a.cfg.Alpha
+		pattern := a.snapshotSymbols(snap.Events, corrID)
+		idx := fingerprint.NewSnapshotIndex(pattern)
+		for _, p := range preps {
+			if a.match(p.fp, pattern, idx, corrID != "") {
+				matched = append(matched, p.name)
+			}
+		}
+	} else {
+		matched, beta = a.growContext(snap, preps, corrID)
+	}
+
+	rep.Candidates = matched
+	rep.Beta = beta
+	n := len(matched)
+	N := a.cfg.TotalOps
+	if N > 1 {
+		rep.Precision = float64(N-n) / float64(N-1)
+	} else {
+		rep.Precision = 1
+	}
+	if n == 0 {
+		a.Stats.FalseNegs++
+	}
+	a.finish(rep)
+}
+
+// prepared pairs a candidate operation name with the (truncated, possibly
+// RPC-pruned) fingerprint it is matched by.
+type prepared struct {
+	name string
+	fp   *fingerprint.Fingerprint
+}
+
+// growContext iterates the context buffer from β₀ by δ per side, stopping
+// as soon as the precision drops (the matched set grows), per §5.3.1.
+func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, corrID string) ([]string, int) {
+	beta0 := int(a.cfg.C1 * float64(a.cfg.Alpha))
+	delta := int(a.cfg.C2 * float64(a.cfg.Alpha))
+	if beta0 < 2 {
+		beta0 = 2
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	var prev []string
+	prevBeta := 0
+	for beta := beta0; ; beta += 2 * delta {
+		pattern := a.snapshotSymbols(snap.Context(beta), corrID)
+		idx := fingerprint.NewSnapshotIndex(pattern)
+		var matched []string
+		seen := map[string]bool{}
+		for _, p := range preps {
+			if !seen[p.name] && a.match(p.fp, pattern, idx, corrID != "") {
+				seen[p.name] = true
+				matched = append(matched, p.name)
+			}
+		}
+		if !a.cfg.GrowToCover && corrID == "" && len(prev) > 0 && len(matched) > len(prev) {
+			// Precision dropped: keep the tighter previous set.
+			return prev, prevBeta
+		}
+		if snap.Covered(beta) {
+			return matched, beta
+		}
+		prev, prevBeta = matched, beta
+	}
+}
+
+func (a *Analyzer) finish(rep *Report) {
+	if a.rca != nil {
+		rep.RootCauses = a.rca(rep)
+	}
+	a.Stats.Reports++
+	a.Stats.MatchedTotal += uint64(len(rep.Candidates))
+	a.reports = append(a.reports, rep)
+	if a.onReport != nil {
+		a.onReport(rep)
+	}
+}

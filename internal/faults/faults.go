@@ -1,0 +1,165 @@
+// Package faults provides the fault injectors the evaluation drives the
+// deployment with (§7): API error outcomes (operational faults),
+// dependency-conditioned failures (a crashed agent or stopped NTP daemon
+// surfacing as API errors), injected latency (the tc analogue), and
+// resource perturbations (CPU surges, disk exhaustion).
+package faults
+
+import (
+	"time"
+
+	"gretel/internal/cluster"
+	"gretel/internal/openstack"
+	"gretel/internal/trace"
+)
+
+// Rule matches operation steps and assigns an outcome. Zero-valued match
+// fields are wildcards.
+type Rule struct {
+	// OpID matches a specific instance (0 = any).
+	OpID uint64
+	// OpName matches an operation type ("" = any).
+	OpName string
+	// API matches a specific API (zero = any).
+	API trace.API
+	// Service matches the API's owning service (SvcUnknown = any).
+	Service trace.Service
+	// StepIndex matches a specific step (-1 = any). Note that 0 is a
+	// valid index, so the zero value of Rule must set StepIndex.
+	StepIndex int
+	// WhenDepDown makes the rule fire only while the named dependency is
+	// stopped on the step's target node (or the caller's node when
+	// DepOnCaller is set) — models errors caused by crashed agents,
+	// stopped NTP, etc.
+	WhenDepDown string
+	// DepOnCaller checks WhenDepDown on the caller's node instead of the
+	// target's (e.g. a stopped NTP agent on the Cinder host breaking its
+	// Keystone authentication, §7.2.4).
+	DepOnCaller bool
+	// Outcome is what the step returns when the rule fires.
+	Outcome openstack.Outcome
+	// Once disarms the rule after its first firing.
+	Once  bool
+	fired bool
+}
+
+// matches reports whether the rule applies to the given step execution.
+func (r *Rule) matches(inst *openstack.Instance, idx int, step openstack.Step, caller, target *cluster.Node) bool {
+	if r.Once && r.fired {
+		return false
+	}
+	if r.OpID != 0 && inst.ID != r.OpID {
+		return false
+	}
+	if r.OpName != "" && inst.Op.Name != r.OpName {
+		return false
+	}
+	if !r.API.Zero() && step.API != r.API {
+		return false
+	}
+	if r.Service != trace.SvcUnknown && step.API.Service != r.Service {
+		return false
+	}
+	if r.StepIndex >= 0 && idx != r.StepIndex {
+		return false
+	}
+	if r.WhenDepDown != "" {
+		node := target
+		if r.DepOnCaller {
+			node = caller
+		}
+		if node == nil {
+			return false
+		}
+		d := node.Dependency(r.WhenDepDown)
+		if d == nil || d.Running {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan is an ordered rule list implementing openstack.Injector: the first
+// matching rule decides the outcome.
+type Plan struct {
+	rules []*Rule
+	// Fired counts rule firings (injected faults).
+	Fired int
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// Add appends a rule and returns the stored copy (whose fired flag
+// tracks state). Set StepIndex to -1 to match any step — 0 means
+// literally the first step.
+func (p *Plan) Add(r Rule) *Rule {
+	rc := r
+	p.rules = append(p.rules, &rc)
+	return &rc
+}
+
+// FailAPI adds a rule failing every execution of api with the HTTP status
+// (REST) or failure class (RPC) and error text.
+func (p *Plan) FailAPI(api trace.API, status int, errText string) *Rule {
+	return p.Add(Rule{API: api, StepIndex: -1, Outcome: openstack.Outcome{Status: status, ErrText: errText}})
+}
+
+// FailInstanceAt adds a rule failing one specific instance at an API.
+func (p *Plan) FailInstanceAt(opID uint64, api trace.API, status int, errText string) *Rule {
+	return p.Add(Rule{OpID: opID, API: api, StepIndex: -1,
+		Outcome: openstack.Outcome{Status: status, ErrText: errText}})
+}
+
+// FailWhenDepDown adds a rule that fails steps of the given service's
+// APIs while dep is stopped on the target node.
+func (p *Plan) FailWhenDepDown(svc trace.Service, dep string, status int, errText string) *Rule {
+	return p.Add(Rule{Service: svc, WhenDepDown: dep, StepIndex: -1,
+		Outcome: openstack.Outcome{Status: status, ErrText: errText}})
+}
+
+// Outcome implements openstack.Injector.
+func (p *Plan) Outcome(inst *openstack.Instance, idx int, step openstack.Step, caller, target *cluster.Node) openstack.Outcome {
+	for _, r := range p.rules {
+		if r.matches(inst, idx, step, caller, target) {
+			r.fired = true
+			p.Fired++
+			return r.Outcome
+		}
+	}
+	return openstack.Outcome{}
+}
+
+// InjectCPUSurge raises a node's CPU by pct points (the §7.2.2 scenario);
+// returns a function that removes it.
+func InjectCPUSurge(n *cluster.Node, pct float64) func() {
+	n.CPUSurge += pct
+	return func() { n.CPUSurge -= pct }
+}
+
+// ExhaustDisk drops a node's free disk to freeGB (the §7.2.1 scenario);
+// returns a restore function.
+func ExhaustDisk(n *cluster.Node, freeGB float64) func() {
+	old := n.Base.DiskFreeGB
+	n.Base.DiskFreeGB = freeGB
+	return func() { n.Base.DiskFreeGB = old }
+}
+
+// StopDependency stops a software dependency on a node (crashed
+// linuxbridge agent, stopped NTP, §7.2.3/§7.2.4); returns a restart
+// function.
+func StopDependency(n *cluster.Node, dep string) func() {
+	n.SetDependency(dep, false)
+	return func() { n.SetDependency(dep, true) }
+}
+
+// InjectLatency applies the tc analogue: extra one-way latency on all
+// traffic to/from a node for a window of simulated time. If duration is
+// zero the injection persists until the returned cancel runs.
+func InjectLatency(d *openstack.Deployment, node string, extra time.Duration, after, duration time.Duration) func() {
+	d.Sim.After(after, func() { d.Fabric.InjectLatency(node, extra) })
+	if duration > 0 {
+		d.Sim.After(after+duration, func() { d.Fabric.InjectLatency(node, 0) })
+	}
+	return func() { d.Fabric.InjectLatency(node, 0) }
+}

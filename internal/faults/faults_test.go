@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"gretel/internal/cluster"
+	"gretel/internal/openstack"
+	"gretel/internal/simclock"
+	"gretel/internal/trace"
+)
+
+func mkNodes() (*cluster.Fabric, *cluster.Node, *cluster.Node) {
+	f := cluster.NewFabric(simclock.New(), 1)
+	caller := f.AddNode("horizon-node", "10.0.0.1", trace.SvcHorizon)
+	target := f.AddNode("nova-node", "10.0.0.3", trace.SvcNova)
+	return f, caller, target
+}
+
+func mkInst(id uint64, name string) *openstack.Instance {
+	return &openstack.Instance{ID: id, Op: &openstack.Operation{Name: name}}
+}
+
+func step(api trace.API) openstack.Step { return openstack.Step{API: api} }
+
+func TestRuleMatchingDimensions(t *testing.T) {
+	_, caller, target := mkNodes()
+	api := trace.RESTAPI(trace.SvcNova, "POST", "/v2.1/servers")
+	other := trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/servers")
+
+	p := NewPlan()
+	p.Add(Rule{OpID: 7, API: api, StepIndex: -1, Outcome: openstack.Outcome{Status: 500}})
+
+	if out := p.Outcome(mkInst(7, "x"), 3, step(api), caller, target); out.Status != 500 {
+		t.Fatal("matching rule did not fire")
+	}
+	if out := p.Outcome(mkInst(8, "x"), 3, step(api), caller, target); out.Status != 0 {
+		t.Fatal("wrong instance fired")
+	}
+	if out := p.Outcome(mkInst(7, "x"), 3, step(other), caller, target); out.Status != 0 {
+		t.Fatal("wrong API fired")
+	}
+	if p.Fired != 1 {
+		t.Fatalf("Fired = %d", p.Fired)
+	}
+}
+
+func TestRuleOnceAndStepIndex(t *testing.T) {
+	_, caller, target := mkNodes()
+	api := trace.RESTAPI(trace.SvcNova, "POST", "/v2.1/servers")
+	p := NewPlan()
+	p.Add(Rule{API: api, StepIndex: 2, Once: true, Outcome: openstack.Outcome{Status: 503}})
+
+	if out := p.Outcome(mkInst(1, "x"), 1, step(api), caller, target); out.Status != 0 {
+		t.Fatal("wrong step index fired")
+	}
+	if out := p.Outcome(mkInst(1, "x"), 2, step(api), caller, target); out.Status != 503 {
+		t.Fatal("step-index rule did not fire")
+	}
+	if out := p.Outcome(mkInst(1, "x"), 2, step(api), caller, target); out.Status != 0 {
+		t.Fatal("Once rule fired twice")
+	}
+}
+
+func TestRuleServiceAndOpName(t *testing.T) {
+	_, caller, target := mkNodes()
+	p := NewPlan()
+	p.Add(Rule{OpName: "vm-create", Service: trace.SvcNova, StepIndex: -1,
+		Outcome: openstack.Outcome{Status: 500}})
+	novaAPI := trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/limits")
+	glanceAPI := trace.RESTAPI(trace.SvcGlance, "GET", "/v2/images")
+
+	if out := p.Outcome(mkInst(1, "vm-create"), 0, step(novaAPI), caller, target); out.Status != 500 {
+		t.Fatal("service+name rule did not fire")
+	}
+	if out := p.Outcome(mkInst(1, "vm-create"), 0, step(glanceAPI), caller, target); out.Status != 0 {
+		t.Fatal("service filter ignored")
+	}
+	if out := p.Outcome(mkInst(1, "vm-delete"), 0, step(novaAPI), caller, target); out.Status != 0 {
+		t.Fatal("op-name filter ignored")
+	}
+}
+
+func TestDepDownRules(t *testing.T) {
+	_, caller, target := mkNodes()
+	caller.AddDependency("ntp")
+	p := NewPlan()
+	p.FailWhenDepDown(trace.SvcNova, "libvirt", 500, "libvirt gone")
+	p.Add(Rule{WhenDepDown: "ntp", DepOnCaller: true, StepIndex: -1,
+		Outcome: openstack.Outcome{Status: 401}})
+	api := trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/limits")
+
+	// Dependencies healthy: nothing fires.
+	if out := p.Outcome(mkInst(1, "x"), 0, step(api), caller, target); out.Status != 0 {
+		t.Fatal("fired with healthy deps")
+	}
+	// Target-side dep down.
+	target.SetDependency("libvirt", false)
+	if out := p.Outcome(mkInst(1, "x"), 0, step(api), caller, target); out.Status != 500 {
+		t.Fatal("target dep rule did not fire")
+	}
+	target.SetDependency("libvirt", true)
+	// Caller-side dep down.
+	caller.SetDependency("ntp", false)
+	if out := p.Outcome(mkInst(1, "x"), 0, step(api), caller, target); out.Status != 401 {
+		t.Fatal("caller dep rule did not fire")
+	}
+	// Nil node never matches a dep rule.
+	if out := p.Outcome(mkInst(1, "x"), 0, step(api), nil, nil); out.Status != 0 {
+		t.Fatal("nil nodes matched a dep rule")
+	}
+}
+
+func TestResourceInjectorsRestore(t *testing.T) {
+	_, _, target := mkNodes()
+	base := target.Base.DiskFreeGB
+	restoreDisk := ExhaustDisk(target, 0.5)
+	if target.Base.DiskFreeGB != 0.5 {
+		t.Fatal("disk not exhausted")
+	}
+	restoreDisk()
+	if target.Base.DiskFreeGB != base {
+		t.Fatal("disk not restored")
+	}
+
+	restoreCPU := InjectCPUSurge(target, 50)
+	if target.CPUSurge != 50 {
+		t.Fatal("surge not applied")
+	}
+	restoreCPU()
+	if target.CPUSurge != 0 {
+		t.Fatal("surge not removed")
+	}
+
+	restart := StopDependency(target, "mysql-conn")
+	if target.Dependency("mysql-conn").Running {
+		t.Fatal("dep not stopped")
+	}
+	restart()
+	if !target.Dependency("mysql-conn").Running {
+		t.Fatal("dep not restarted")
+	}
+}
+
+func TestInjectLatencyWindow(t *testing.T) {
+	d := openstack.NewDeployment(openstack.Config{Seed: 5})
+	InjectLatency(d, "glance-node", 50*time.Millisecond, 10*time.Second, 20*time.Second)
+	d.Sim.RunUntil(d.Sim.Now().Add(15 * time.Second))
+	if d.Fabric.InjectedLatency("glance-node") != 50*time.Millisecond {
+		t.Fatal("latency not injected inside the window")
+	}
+	d.Sim.RunUntil(d.Sim.Now().Add(20 * time.Second))
+	if d.Fabric.InjectedLatency("glance-node") != 0 {
+		t.Fatal("latency not removed after the window")
+	}
+}

@@ -1,0 +1,627 @@
+// Package fingerprint implements GRETEL's operational fingerprints:
+// Algorithm 1 (offline learning from repeated isolated executions) and the
+// matching machinery Algorithm 2 builds on (truncation at the offending
+// API, relaxed state-change-preserving matching, per-symbol posting lists).
+//
+// A fingerprint is the most precise API sequence identifying one
+// high-level administrative task. Learning filters noise (heartbeats,
+// Keystone auth, repeated idempotent calls) from each captured trace and
+// intersects the runs with a longest-common-subsequence pass so transient
+// invocations drop out. The result is rendered over the symbol table as a
+// regular expression in which state-change APIs (POST/PUT/DELETE, RPCs)
+// are mandatory literals and read-only APIs carry a '*' (§5.3.1, §6).
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gretel/internal/symbol"
+	"gretel/internal/trace"
+)
+
+// Fingerprint is one learned operational fingerprint.
+type Fingerprint struct {
+	// Name identifies the operation (the Tempest test name).
+	Name string
+	// Category is the operation's Table 1 category name.
+	Category string
+	// APIs is the learned API sequence after noise filtering and LCS.
+	APIs []trace.API
+	// Symbols is APIs encoded through the library's symbol table.
+	Symbols []rune
+	// state[i] reports whether Symbols[i] is state-changing.
+	state []bool
+}
+
+// Len returns the fingerprint length in symbols.
+func (f *Fingerprint) Len() int { return len(f.Symbols) }
+
+// StateChange reports whether symbol i is a mandatory (state-change)
+// literal.
+func (f *Fingerprint) StateChange(i int) bool { return f.state[i] }
+
+// Regex renders the paper's regular-expression form: state-change symbols
+// as literals, read-only symbols suffixed with '*'.
+func (f *Fingerprint) Regex() string {
+	var b strings.Builder
+	for i, r := range f.Symbols {
+		b.WriteRune(r)
+		if !f.state[i] {
+			b.WriteByte('*')
+		}
+	}
+	return b.String()
+}
+
+// SymbolSet returns the distinct symbols in the fingerprint.
+func (f *Fingerprint) SymbolSet() map[rune]bool {
+	out := make(map[rune]bool, len(f.Symbols))
+	for _, r := range f.Symbols {
+		out[r] = true
+	}
+	return out
+}
+
+// WithoutRPC returns a copy with RPC symbols removed — the §6 matching
+// optimization ("GRETEL removes symbols corresponding to RPC messages to
+// speed up operation detection").
+func (f *Fingerprint) WithoutRPC(tbl *symbol.Table) *Fingerprint {
+	out := &Fingerprint{Name: f.Name, Category: f.Category}
+	for i, api := range f.APIs {
+		if api.Kind == trace.RPC {
+			continue
+		}
+		out.APIs = append(out.APIs, api)
+		out.Symbols = append(out.Symbols, f.Symbols[i])
+		out.state = append(out.state, f.state[i])
+	}
+	return out
+}
+
+// Truncate returns the fingerprint cut at the LAST occurrence of the
+// offending symbol, inclusive (Algorithm 2's
+// TRUNCATE_OPERATION_FINGERPRINTS). It returns nil if the symbol does not
+// occur.
+func (f *Fingerprint) Truncate(offending rune) *Fingerprint {
+	last := -1
+	for i, r := range f.Symbols {
+		if r == offending {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	return &Fingerprint{
+		Name:     f.Name,
+		Category: f.Category,
+		APIs:     f.APIs[:last+1],
+		Symbols:  f.Symbols[:last+1],
+		state:    f.state[:last+1],
+	}
+}
+
+// mandatory returns the symbols that a relaxed match must find in order:
+// the state-change literals, always including the final symbol (the
+// offending API for truncated fingerprints). If the fingerprint has no
+// state-change symbols at all, every symbol is mandatory — otherwise a
+// read-only operation would match any snapshot.
+func (f *Fingerprint) mandatory() []rune {
+	out := make([]rune, 0, len(f.Symbols))
+	for i, r := range f.Symbols {
+		if f.state[i] || i == len(f.Symbols)-1 {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return f.Symbols
+	}
+	return out
+}
+
+// SnapshotIndex pre-indexes a snapshot's symbol occurrences so many
+// fingerprints can be matched against one context buffer cheaply (the
+// §6 optimization of offloading regex matching applies the same idea:
+// index once, match hundreds of patterns).
+type SnapshotIndex struct {
+	occ map[rune][]int32
+	n   int
+}
+
+// NewSnapshotIndex builds the occurrence index for a symbol sequence.
+func NewSnapshotIndex(s []rune) *SnapshotIndex {
+	idx := &SnapshotIndex{occ: make(map[rune][]int32), n: len(s)}
+	for i, r := range s {
+		idx.occ[r] = append(idx.occ[r], int32(i))
+	}
+	return idx
+}
+
+// Len reports the indexed snapshot length.
+func (idx *SnapshotIndex) Len() int { return idx.n }
+
+// firstAtOrAfter returns the first occurrence position of r at or after
+// j, or -1.
+func (idx *SnapshotIndex) firstAtOrAfter(r rune, j int32) int32 {
+	positions := idx.occ[r]
+	// Binary search over the sorted occurrence list.
+	lo, hi := 0, len(positions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if positions[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(positions) {
+		return -1
+	}
+	return positions[lo]
+}
+
+// MatchRelaxed reports whether the fingerprint matches the snapshot under
+// the paper's relaxed semantics (§5.3.1 "Example", Fig 4): the mandatory
+// (state-change) symbols that are PRESENT in the snapshot must appear in
+// fingerprint order; symbols entirely absent from the snapshot are
+// tolerated (concurrent operations displace them out of the context
+// buffer — "even though symbol A is missing from the context buffer, the
+// truncated regular expression still matches as it preserves the order of
+// E and F"). The fingerprint's final symbol — the offending API for
+// truncated fingerprints — must itself be present.
+//
+// Growing the context buffer makes this test stricter, not looser: more
+// of a wrong candidate's symbols become present and must then be
+// explained in order, which is why a larger β "forces a more precise
+// match" (§7.3).
+func (f *Fingerprint) MatchRelaxed(snapshot []rune) bool {
+	return f.MatchRelaxedIndexed(NewSnapshotIndex(snapshot))
+}
+
+// MatchRelaxedIndexed is MatchRelaxed over a pre-built index.
+func (f *Fingerprint) MatchRelaxedIndexed(idx *SnapshotIndex) bool {
+	ok, _ := f.matchOrdered(idx, true)
+	return ok
+}
+
+// MatchExactIndexed requires every mandatory (state-change) symbol to be
+// present in order, with no omissions.
+func (f *Fingerprint) MatchExactIndexed(idx *SnapshotIndex) bool {
+	ok, _ := f.matchOrdered(idx, false)
+	return ok
+}
+
+// MatchCorrelated matches a snapshot pre-filtered to one operation's own
+// messages (the §5.3.1 correlation-id extension). Because every pattern
+// symbol now belongs to a single operation, the decisive test flips: the
+// candidate's fingerprint must EXPLAIN the pattern — at least
+// corrCoverage of the pattern's symbol occurrences must be symbols of the
+// candidate — in addition to the ordered walk over whatever mandatory
+// symbols are present. The true operation always explains its own
+// messages (they are literally its fingerprint's symbols, plus idempotent
+// retries of them); unrelated candidates cannot.
+// An ordered walk is deliberately NOT applied here: when the window
+// truncates a long operation, repeated symbols make even the true
+// operation's own sequence appear locally out of order.
+func (f *Fingerprint) MatchCorrelated(idx *SnapshotIndex) bool {
+	if idx.n == 0 || len(f.Symbols) == 0 {
+		return false
+	}
+	if len(idx.occ[f.Symbols[len(f.Symbols)-1]]) == 0 {
+		return false // the offending (final) symbol must be present
+	}
+	set := f.SymbolSet()
+	covered := 0
+	for sym, positions := range idx.occ {
+		if set[sym] {
+			covered += len(positions)
+		}
+	}
+	return float64(covered) >= corrCoverage*float64(idx.n)
+}
+
+// corrCoverage is the fraction of a correlation-filtered pattern that a
+// matching candidate's fingerprint must explain.
+const corrCoverage = 0.95
+
+func (f *Fingerprint) matchOrdered(idx *SnapshotIndex, allowOmission bool) (bool, int) {
+	pattern := f.mandatory()
+	if len(pattern) == 0 {
+		return false, 0
+	}
+	var j int32
+	matched := 0
+	for i, p := range pattern {
+		if len(idx.occ[p]) == 0 {
+			if !allowOmission || i == len(pattern)-1 {
+				// Absent symbol: fatal in exact mode, and the offending
+				// (final) symbol must be present in every mode.
+				return false, matched
+			}
+			continue // absent from the snapshot: omission allowed
+		}
+		k := idx.firstAtOrAfter(p, j)
+		if k < 0 {
+			// Present in the snapshot, but only before our match point:
+			// the state-change order is violated.
+			return false, matched
+		}
+		matched++
+		j = k + 1
+	}
+	return true, matched
+}
+
+// MatchStrict reports whether every fingerprint symbol (reads included)
+// appears in order in the snapshot, with no omissions. Used by the
+// ablation comparing the relaxed matcher against a strict full-sequence
+// match.
+func (f *Fingerprint) MatchStrict(snapshot []rune) bool {
+	return isSubsequence(f.Symbols, snapshot)
+}
+
+func isSubsequence(pattern, s []rune) bool {
+	if len(pattern) == 0 {
+		return true
+	}
+	i := 0
+	for _, r := range s {
+		if r == pattern[i] {
+			i++
+			if i == len(pattern) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Overlap computes |sym(f) ∩ sym(g)| / |sym(f)| — the Fig 5 overlap
+// measure between two fingerprints, asymmetric in f.
+func Overlap(f, g *Fingerprint) float64 {
+	fs := f.SymbolSet()
+	if len(fs) == 0 {
+		return 0
+	}
+	gs := g.SymbolSet()
+	n := 0
+	for r := range fs {
+		if gs[r] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(fs))
+}
+
+// NoiseFilter implements FILTER_NOISE from Algorithm 1: it removes
+// heartbeat/status RPCs, common Keystone REST invocations, and repeat
+// occurrences of idempotent REST actions for a specific URI.
+type NoiseFilter struct {
+	// NoiseAPIs are exact APIs always pruned (heartbeats, auth calls).
+	NoiseAPIs map[trace.API]bool
+	// NoiseServices prunes every API owned by these services (Keystone).
+	NoiseServices map[trace.Service]bool
+	// CollapseRepeats removes consecutive duplicate idempotent (GET/HEAD)
+	// invocations of the same API.
+	CollapseRepeats bool
+}
+
+// NewNoiseFilter returns the standard filter configured per §5: the given
+// noise APIs (heartbeat RPCs and the common Keystone auth invocations)
+// plus idempotent-repeat collapsing. Note that only the *common* Keystone
+// calls are noise — admin tasks that legitimately query Keystone (listing
+// projects, users) keep those APIs in their fingerprints.
+func NewNoiseFilter(noiseAPIs []trace.API) *NoiseFilter {
+	m := make(map[trace.API]bool, len(noiseAPIs))
+	for _, a := range noiseAPIs {
+		m[a] = true
+	}
+	return &NoiseFilter{
+		NoiseAPIs:       m,
+		NoiseServices:   map[trace.Service]bool{},
+		CollapseRepeats: true,
+	}
+}
+
+// Filter returns the API sequence with noise removed.
+func (nf *NoiseFilter) Filter(apis []trace.API) []trace.API {
+	out := make([]trace.API, 0, len(apis))
+	for _, a := range apis {
+		if nf.NoiseAPIs != nil && nf.NoiseAPIs[a] {
+			continue
+		}
+		if nf.NoiseServices != nil && nf.NoiseServices[a.Service] {
+			continue
+		}
+		if nf.CollapseRepeats && len(out) > 0 && out[len(out)-1] == a &&
+			(a.Method == "GET" || a.Method == "HEAD") {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// LCS computes the longest common subsequence of two API sequences — the
+// pruning step of Algorithm 1 that keeps only APIs common to every
+// successful re-execution.
+func LCS(a, b []trace.API) []trace.API {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	// dp[i][j] = LCS length of a[i:], b[j:].
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	out := make([]trace.API, 0, dp[0][0])
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Learn implements GET_OPERATIONAL_FINGERPRINT (Algorithm 1): sort traces
+// by length, noise-filter each, and fold them together with LCS so only
+// the APIs common to every successful iteration remain.
+func Learn(traces [][]trace.API, nf *NoiseFilter) []trace.API {
+	if len(traces) == 0 {
+		return nil
+	}
+	sorted := make([][]trace.API, len(traces))
+	copy(sorted, traces)
+	// Sort by trace length ascending (shortest first seeds the fold).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && len(sorted[j]) < len(sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	fp := nf.Filter(sorted[0])
+	for _, tr := range sorted[1:] {
+		fp = LCS(fp, nf.Filter(tr))
+	}
+	return fp
+}
+
+// LearnVariants is the branched-fingerprint extension the paper leaves as
+// future work (§8 limitation 6: "GRETEL does not handle asynchronous
+// calls that occur in the middle of an operation and lead to a branched
+// fingerprint. Currently, GRETEL's re-execution of operations removes
+// truly asynchronous APIs from the fingerprint."). Instead of collapsing
+// all runs with LCS, it groups noise-filtered traces by exact sequence
+// and keeps each variant observed in at least minSupport runs (up to
+// maxVariants, by support). When no variant reaches support, it falls
+// back to the classic LCS fingerprint.
+func LearnVariants(traces [][]trace.API, nf *NoiseFilter, minSupport, maxVariants int) [][]trace.API {
+	if len(traces) == 0 {
+		return nil
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	if maxVariants < 1 {
+		maxVariants = 2
+	}
+	type group struct {
+		apis    []trace.API
+		support int
+		first   int
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i, tr := range traces {
+		filtered := nf.Filter(tr)
+		key := apiKey(filtered)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{apis: filtered, first: i}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.support++
+	}
+	var qualified []*group
+	for _, key := range order {
+		if g := groups[key]; g.support >= minSupport {
+			qualified = append(qualified, g)
+		}
+	}
+	// Highest support first; ties by first appearance for determinism.
+	sort.SliceStable(qualified, func(i, j int) bool {
+		if qualified[i].support != qualified[j].support {
+			return qualified[i].support > qualified[j].support
+		}
+		return qualified[i].first < qualified[j].first
+	})
+	if len(qualified) == 0 {
+		return [][]trace.API{Learn(traces, nf)}
+	}
+	if len(qualified) > maxVariants {
+		qualified = qualified[:maxVariants]
+	}
+	out := make([][]trace.API, len(qualified))
+	for i, g := range qualified {
+		out[i] = g.apis
+	}
+	return out
+}
+
+func apiKey(apis []trace.API) string {
+	var b strings.Builder
+	for _, a := range apis {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Library holds every learned fingerprint, the shared symbol table, and
+// the per-symbol posting lists used to pre-select candidate operations
+// for a fault (GET_POSSIBLE_OFFENDING_OPERATIONS in Algorithm 2).
+type Library struct {
+	Table   *symbol.Table
+	fps     []*Fingerprint
+	byName  map[string]*Fingerprint
+	posting map[rune][]int
+}
+
+// NewLibrary returns an empty library over a fresh symbol table.
+func NewLibrary() *Library {
+	return &Library{
+		Table:   symbol.NewTable(),
+		byName:  make(map[string]*Fingerprint),
+		posting: make(map[rune][]int),
+	}
+}
+
+// Add learns a fingerprint from traces and registers it. It returns the
+// stored fingerprint. Adding a duplicate name replaces the previous entry
+// in the name index but keeps library order stable for the original.
+func (l *Library) Add(name, category string, traces [][]trace.API, nf *NoiseFilter) *Fingerprint {
+	apis := Learn(traces, nf)
+	return l.AddAPIs(name, category, apis)
+}
+
+// AddAPIs registers a fingerprint from an already-learned API sequence.
+func (l *Library) AddAPIs(name, category string, apis []trace.API) *Fingerprint {
+	fp := &Fingerprint{Name: name, Category: category, APIs: apis}
+	fp.Symbols = make([]rune, len(apis))
+	fp.state = make([]bool, len(apis))
+	for i, a := range apis {
+		fp.Symbols[i] = l.Table.Assign(a)
+		fp.state[i] = a.StateChanging()
+	}
+	idx := len(l.fps)
+	l.fps = append(l.fps, fp)
+	l.byName[name] = fp
+	seen := map[rune]bool{}
+	for _, r := range fp.Symbols {
+		if !seen[r] {
+			seen[r] = true
+			l.posting[r] = append(l.posting[r], idx)
+		}
+	}
+	return fp
+}
+
+// Len reports the number of fingerprints (the paper's N).
+func (l *Library) Len() int { return len(l.fps) }
+
+// All returns every fingerprint in registration order.
+func (l *Library) All() []*Fingerprint { return l.fps }
+
+// ByName returns the named fingerprint, or nil.
+func (l *Library) ByName(name string) *Fingerprint { return l.byName[name] }
+
+// Candidates returns the fingerprints containing the offending symbol —
+// the operations that could possibly contain the faulty API.
+func (l *Library) Candidates(offending rune) []*Fingerprint {
+	idxs := l.posting[offending]
+	out := make([]*Fingerprint, len(idxs))
+	for i, idx := range idxs {
+		out[i] = l.fps[idx]
+	}
+	return out
+}
+
+// CandidatesForAPI resolves the API through the symbol table first.
+func (l *Library) CandidatesForAPI(api trace.API) []*Fingerprint {
+	r, ok := l.Table.Lookup(api)
+	if !ok {
+		return nil
+	}
+	return l.Candidates(r)
+}
+
+// MaxLen returns FPmax — the size of the largest fingerprint across all
+// operations (384 in the paper's characterization).
+func (l *Library) MaxLen() int {
+	max := 0
+	for _, fp := range l.fps {
+		if fp.Len() > max {
+			max = fp.Len()
+		}
+	}
+	return max
+}
+
+// Stats summarizes fingerprints per category: count and average length
+// with and without RPC symbols (Table 1's last columns).
+type Stats struct {
+	Category    string
+	Count       int
+	AvgLenWith  float64
+	AvgLenNoRPC float64
+	UniqueREST  int
+	UniqueRPC   int
+}
+
+// StatsByCategory aggregates Table 1 style statistics.
+func (l *Library) StatsByCategory() []Stats {
+	type agg struct {
+		count, lenWith, lenNo int
+		rest, rpc             map[trace.API]bool
+	}
+	byCat := map[string]*agg{}
+	var order []string
+	for _, fp := range l.fps {
+		a, ok := byCat[fp.Category]
+		if !ok {
+			a = &agg{rest: map[trace.API]bool{}, rpc: map[trace.API]bool{}}
+			byCat[fp.Category] = a
+			order = append(order, fp.Category)
+		}
+		a.count++
+		for _, api := range fp.APIs {
+			if api.Kind == trace.RPC {
+				a.rpc[api] = true
+			} else {
+				a.rest[api] = true
+				a.lenNo++
+			}
+			a.lenWith++
+		}
+	}
+	out := make([]Stats, 0, len(order))
+	for _, cat := range order {
+		a := byCat[cat]
+		out = append(out, Stats{
+			Category:    cat,
+			Count:       a.count,
+			AvgLenWith:  float64(a.lenWith) / float64(a.count),
+			AvgLenNoRPC: float64(a.lenNo) / float64(a.count),
+			UniqueREST:  len(a.rest),
+			UniqueRPC:   len(a.rpc),
+		})
+	}
+	return out
+}
+
+// String renders library-level info.
+func (l *Library) String() string {
+	return fmt.Sprintf("fingerprint.Library{n=%d, FPmax=%d, symbols=%d}", l.Len(), l.MaxLen(), l.Table.Len())
+}

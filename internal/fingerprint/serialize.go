@@ -1,0 +1,107 @@
+// Fingerprint-library persistence: the offline learning phase (Algorithm
+// 1) runs once in a controlled setting, and the resulting library is
+// shipped to production analyzers (§7.1: "GRETEL's fingerprint generation
+// is an offline process... GRETEL does not require learning atop
+// production environments"). Libraries serialize as JSON; loading
+// rebuilds the symbol table deterministically in fingerprint order.
+
+package fingerprint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gretel/internal/trace"
+)
+
+type apiJSON struct {
+	Service string `json:"service"`
+	Kind    string `json:"kind"`
+	Method  string `json:"method"`
+	Path    string `json:"path,omitempty"`
+}
+
+type fpJSON struct {
+	Name     string    `json:"name"`
+	Category string    `json:"category"`
+	APIs     []apiJSON `json:"apis"`
+}
+
+type libraryJSON struct {
+	Version      int      `json:"version"`
+	Fingerprints []fpJSON `json:"fingerprints"`
+}
+
+// Save writes the library as JSON.
+func (l *Library) Save(w io.Writer) error {
+	out := libraryJSON{Version: 1}
+	for _, fp := range l.fps {
+		j := fpJSON{Name: fp.Name, Category: fp.Category}
+		for _, a := range fp.APIs {
+			kind := "REST"
+			if a.Kind == trace.RPC {
+				kind = "RPC"
+			}
+			j.APIs = append(j.APIs, apiJSON{
+				Service: a.Service.String(), Kind: kind, Method: a.Method, Path: a.Path,
+			})
+		}
+		out.Fingerprints = append(out.Fingerprints, j)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// SaveFile writes the library to a file.
+func (l *Library) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fingerprint: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	return l.Save(f)
+}
+
+// Load reads a library saved by Save, rebuilding the symbol table and
+// posting lists.
+func Load(r io.Reader) (*Library, error) {
+	var in libraryJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("fingerprint: decoding library: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("fingerprint: unsupported library version %d", in.Version)
+	}
+	lib := NewLibrary()
+	for _, j := range in.Fingerprints {
+		apis := make([]trace.API, 0, len(j.APIs))
+		for _, a := range j.APIs {
+			svc := trace.ServiceByName(a.Service)
+			if svc == trace.SvcUnknown {
+				return nil, fmt.Errorf("fingerprint: unknown service %q in %s", a.Service, j.Name)
+			}
+			switch a.Kind {
+			case "REST":
+				apis = append(apis, trace.RESTAPI(svc, a.Method, a.Path))
+			case "RPC":
+				apis = append(apis, trace.RPCAPI(svc, a.Method))
+			default:
+				return nil, fmt.Errorf("fingerprint: unknown kind %q in %s", a.Kind, j.Name)
+			}
+		}
+		lib.AddAPIs(j.Name, j.Category, apis)
+	}
+	return lib, nil
+}
+
+// LoadFile reads a library from a file.
+func LoadFile(path string) (*Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,193 @@
+// Package metrics is the collectd analogue: it periodically samples every
+// node's resource state into named time series and serves windowed queries
+// to the root-cause analysis engine.
+//
+// The paper installed collectd on all OpenStack nodes with a 1 s poll
+// frequency (§6, §7 "Experimental setup") and shipped snapshots to the
+// analyzer. Here the collector polls cluster nodes on the simulation
+// clock and keeps the series in memory.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gretel/internal/cluster"
+	"gretel/internal/simclock"
+)
+
+// Standard metric names, one per collectd plugin the paper relied on.
+const (
+	MetricCPU      = "cpu"
+	MetricMemUsed  = "mem_used_mb"
+	MetricDiskFree = "disk_free_gb"
+	MetricNet      = "net_mbps"
+	MetricDiskIOPS = "disk_iops"
+)
+
+// MetricNames lists every metric the collector records per node.
+var MetricNames = []string{MetricCPU, MetricMemUsed, MetricDiskFree, MetricNet, MetricDiskIOPS}
+
+// Point is one sample.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// Series is an append-only time series. Safe for concurrent use.
+type Series struct {
+	mu     sync.RWMutex
+	name   string
+	points []Point
+}
+
+// Name returns the series key ("node/metric").
+func (s *Series) Name() string { return s.name }
+
+// Append records a sample. Samples must arrive in nondecreasing time
+// order, which the poller guarantees.
+func (s *Series) Append(t time.Time, v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{t, v})
+	s.mu.Unlock()
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.points)
+}
+
+// Window returns samples with from <= t <= to.
+func (s *Series) Window(from, to time.Time) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].Time.Before(from) })
+	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time.After(to) })
+	out := make([]Point, hi-lo)
+	copy(out, s.points[lo:hi])
+	return out
+}
+
+// Last returns up to n most recent samples.
+func (s *Series) Last(n int) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n > len(s.points) {
+		n = len(s.points)
+	}
+	out := make([]Point, n)
+	copy(out, s.points[len(s.points)-n:])
+	return out
+}
+
+// Key builds the series key for a node and metric.
+func Key(node, metric string) string { return node + "/" + metric }
+
+// Collector polls nodes and stores their resource series.
+type Collector struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{series: make(map[string]*Series)}
+}
+
+// Record appends one sample to the node/metric series, creating it on
+// first use.
+func (c *Collector) Record(node, metric string, t time.Time, v float64) {
+	c.getOrCreate(Key(node, metric)).Append(t, v)
+}
+
+func (c *Collector) getOrCreate(key string) *Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.series[key]
+	if !ok {
+		s = &Series{name: key}
+		c.series[key] = s
+	}
+	return s
+}
+
+// Series returns the series for node/metric, or nil if never recorded.
+func (c *Collector) Series(node, metric string) *Series {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.series[Key(node, metric)]
+}
+
+// PollNode samples all resource metrics of a node at time t.
+func (c *Collector) PollNode(n *cluster.Node, t time.Time) {
+	r := n.Sample()
+	c.Record(n.Name, MetricCPU, t, r.CPUPercent)
+	c.Record(n.Name, MetricMemUsed, t, r.MemUsedMB)
+	c.Record(n.Name, MetricDiskFree, t, r.DiskFreeGB)
+	c.Record(n.Name, MetricNet, t, r.NetMbps)
+	c.Record(n.Name, MetricDiskIOPS, t, r.DiskIOPS)
+}
+
+// StartPolling schedules periodic polls of every fabric node on the
+// simulation clock until stop returns true. The paper used a 1 s period.
+func (c *Collector) StartPolling(f *cluster.Fabric, sim *simclock.Sim, period time.Duration, stop func() bool) {
+	sim.Every(period, stop, func() {
+		for _, n := range f.Nodes() {
+			if n.Up {
+				c.PollNode(n, sim.Now())
+			}
+		}
+	})
+}
+
+// Snapshot returns, for one node, every metric's samples within the given
+// window — what the analyzer requests for root-cause analysis over the
+// context-buffer duration.
+func (c *Collector) Snapshot(node string, from, to time.Time) map[string][]Point {
+	out := make(map[string][]Point, len(MetricNames))
+	for _, m := range MetricNames {
+		if s := c.Series(node, m); s != nil {
+			out[m] = s.Window(from, to)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a set of points.
+type Stats struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	Last     float64
+}
+
+// Summarize computes summary statistics over points.
+func Summarize(pts []Point) Stats {
+	st := Stats{N: len(pts)}
+	if len(pts) == 0 {
+		return st
+	}
+	st.Min, st.Max = pts[0].Value, pts[0].Value
+	sum := 0.0
+	for _, p := range pts {
+		if p.Value < st.Min {
+			st.Min = p.Value
+		}
+		if p.Value > st.Max {
+			st.Max = p.Value
+		}
+		sum += p.Value
+	}
+	st.Mean = sum / float64(len(pts))
+	st.Last = pts[len(pts)-1].Value
+	return st
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d min=%.2f mean=%.2f max=%.2f last=%.2f", s.N, s.Min, s.Mean, s.Max, s.Last)
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"gretel/internal/cluster"
+	"gretel/internal/simclock"
+	"gretel/internal/trace"
+)
+
+func ts(sec int) time.Time { return simclock.Epoch.Add(time.Duration(sec) * time.Second) }
+
+func TestSeriesWindow(t *testing.T) {
+	s := &Series{name: "n/cpu"}
+	for i := 0; i < 10; i++ {
+		s.Append(ts(i), float64(i))
+	}
+	got := s.Window(ts(3), ts(6))
+	if len(got) != 4 || got[0].Value != 3 || got[3].Value != 6 {
+		t.Fatalf("Window = %v", got)
+	}
+	if len(s.Window(ts(100), ts(200))) != 0 {
+		t.Fatal("empty window not empty")
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSeriesLast(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 5; i++ {
+		s.Append(ts(i), float64(i))
+	}
+	last := s.Last(2)
+	if len(last) != 2 || last[1].Value != 4 {
+		t.Fatalf("Last(2) = %v", last)
+	}
+	if got := s.Last(99); len(got) != 5 {
+		t.Fatalf("Last(99) = %d points", len(got))
+	}
+}
+
+func TestCollectorRecordAndSeries(t *testing.T) {
+	c := NewCollector()
+	c.Record("nova-node", MetricCPU, ts(0), 5)
+	c.Record("nova-node", MetricCPU, ts(1), 6)
+	s := c.Series("nova-node", MetricCPU)
+	if s == nil || s.Len() != 2 {
+		t.Fatalf("series missing or wrong length: %v", s)
+	}
+	if c.Series("ghost", MetricCPU) != nil {
+		t.Fatal("ghost series exists")
+	}
+}
+
+func TestPollNodeRecordsAllMetrics(t *testing.T) {
+	sim := simclock.New()
+	f := cluster.NewFabric(sim, 1)
+	n := f.AddNode("glance-node", "10.0.0.6", trace.SvcGlance)
+	c := NewCollector()
+	c.PollNode(n, sim.Now())
+	for _, m := range MetricNames {
+		if s := c.Series("glance-node", m); s == nil || s.Len() != 1 {
+			t.Errorf("metric %q not recorded", m)
+		}
+	}
+}
+
+func TestStartPollingPeriodAndStop(t *testing.T) {
+	sim := simclock.New()
+	f := cluster.NewFabric(sim, 1)
+	f.AddNode("a", "10.0.0.1", trace.SvcNova)
+	down := f.AddNode("b", "10.0.0.2", trace.SvcNeutron)
+	down.Up = false
+	c := NewCollector()
+	c.StartPolling(f, sim, time.Second, func() bool { return sim.Now().After(ts(10)) })
+	sim.RunUntil(ts(30))
+	s := c.Series("a", MetricCPU)
+	if s == nil {
+		t.Fatal("no samples for node a")
+	}
+	// Polls at t=1..10 inclusive: 10 samples.
+	if s.Len() != 10 {
+		t.Fatalf("sample count = %d, want 10", s.Len())
+	}
+	if c.Series("b", MetricCPU) != nil {
+		t.Fatal("down node was polled")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 20; i++ {
+		c.Record("n1", MetricCPU, ts(i), float64(i))
+		c.Record("n1", MetricDiskFree, ts(i), 100-float64(i))
+	}
+	snap := c.Snapshot("n1", ts(5), ts(8))
+	if len(snap[MetricCPU]) != 4 || len(snap[MetricDiskFree]) != 4 {
+		t.Fatalf("snapshot sizes: cpu=%d disk=%d", len(snap[MetricCPU]), len(snap[MetricDiskFree]))
+	}
+	if len(snap[MetricNet]) != 0 {
+		t.Fatal("unexpected net samples")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	pts := []Point{{ts(0), 2}, {ts(1), 8}, {ts(2), 5}}
+	st := Summarize(pts)
+	if st.N != 3 || st.Min != 2 || st.Max != 8 || st.Mean != 5 || st.Last != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summarize")
+	}
+	if st.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,411 @@
+// Package openstack simulates an OpenStack LIBERTY deployment at the
+// level GRETEL observes it: services on nodes exchanging wire-encoded
+// REST and RPC messages, high-level administrative operations composed of
+// those messages, background noise (heartbeats, auth calls, transient
+// retries), and hooks for fault injection.
+//
+// Nothing in this package implements cloud semantics (no actual VMs are
+// booted); it reproduces the paper's observable surface — the message
+// sequences, timings, error codes and resource perturbations that the
+// monitoring agents capture.
+package openstack
+
+import (
+	"fmt"
+
+	"gretel/internal/trace"
+)
+
+// Category classifies operations the way §7.1 classifies Tempest tests.
+type Category uint8
+
+// The five categories of Table 1.
+const (
+	Compute Category = iota
+	Image
+	Network
+	Storage
+	Misc
+	NumCategories
+)
+
+var categoryNames = [...]string{"Compute", "Image", "Network", "Storage", "Misc"}
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// Categories lists all categories in Table 1 order.
+func Categories() []Category {
+	return []Category{Compute, Image, Network, Storage, Misc}
+}
+
+// APIPool is the set of unique APIs a category's operations draw from.
+// Table 1 fixes the pool sizes: e.g. Compute tests touch 195 unique REST
+// and 61 unique RPC interfaces.
+type APIPool struct {
+	Category Category
+	REST     []trace.API
+	RPC      []trace.API
+}
+
+// poolSpec pins the unique-API counts from Table 1.
+var poolSpec = map[Category]struct{ rpc, rest int }{
+	Compute: {61, 195},
+	Image:   {10, 38},
+	Network: {24, 70},
+	Storage: {11, 40},
+	Misc:    {11, 20},
+}
+
+// crossMethods enumerates a full CRUD surface over a collection resource.
+func crossMethods(svc trace.Service, version, resource string) []trace.API {
+	base := fmt.Sprintf("/%s/%s", version, resource)
+	return []trace.API{
+		trace.RESTAPI(svc, "GET", base),
+		trace.RESTAPI(svc, "GET", base+"/{id}"),
+		trace.RESTAPI(svc, "POST", base),
+		trace.RESTAPI(svc, "PUT", base+"/{id}"),
+		trace.RESTAPI(svc, "DELETE", base+"/{id}"),
+	}
+}
+
+func take(apis []trace.API, n int, what string) []trace.API {
+	if len(apis) < n {
+		panic(fmt.Sprintf("openstack: %s pool has %d APIs, need %d", what, len(apis), n))
+	}
+	return apis[:n]
+}
+
+// computeREST builds the Nova REST surface: CRUD over its resource
+// collections plus the server action sub-APIs.
+func computeREST() []trace.API {
+	resources := []string{
+		"servers", "flavors", "os-keypairs", "os-server-groups",
+		"os-hypervisors", "os-instance-actions", "os-migrations",
+		"os-aggregates", "os-services", "os-quota-sets",
+		"os-security-groups", "os-floating-ips", "os-networks",
+		"os-tenant-networks", "os-fixed-ips", "os-hosts", "os-cells",
+		"os-consoles", "os-volumes", "os-snapshots", "os-interface",
+		"os-volume_attachments", "os-virtual-interfaces",
+		"os-baremetal-nodes", "os-fping", "os-agents", "os-certificates",
+		"os-cloudpipe", "os-coverage", "os-instance-usage-audit-log",
+	}
+	var out []trace.API
+	for _, r := range resources {
+		out = append(out, crossMethods(trace.SvcNova, "v2.1", r)...)
+	}
+	actions := []string{
+		"reboot", "resize", "confirmResize", "revertResize", "pause",
+		"unpause", "suspend", "resume", "lock", "unlock", "rescue",
+		"unrescue", "shelve", "unshelve", "migrate", "os-migrateLive",
+		"evacuate", "createImage", "rebuild", "changePassword",
+		"addSecurityGroup", "removeSecurityGroup", "addFloatingIp",
+		"removeFloatingIp", "os-getConsoleOutput", "os-getVNCConsole",
+		"createBackup", "os-resetState", "forceDelete", "restore",
+		"os-startServer", "os-stopServer", "trigger_crash_dump",
+		"injectNetworkInfo", "resetNetwork",
+	}
+	for _, a := range actions {
+		out = append(out, trace.RESTAPI(trace.SvcNova, "POST", "/v2.1/servers/{id}/action/"+a))
+	}
+	out = append(out,
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/limits"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/os-availability-zone"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/os-simple-tenant-usage"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/servers/{id}/diagnostics"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/servers/{id}/os-instance-actions"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/servers/{id}/ips"),
+		trace.RESTAPI(trace.SvcNova, "POST", "/v2.1/servers/{id}/metadata"),
+		trace.RESTAPI(trace.SvcNova, "DELETE", "/v2.1/servers/{id}/metadata/{id}"),
+		trace.RESTAPI(trace.SvcNova, "POST", "/v2.1/os-server-external-events"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/servers/detail"),
+	)
+	return out
+}
+
+// computeRPC builds the Nova RPC surface: nova-compute manager methods,
+// scheduler and conductor interfaces.
+func computeRPC() []trace.API {
+	methods := []string{
+		// nova-compute manager
+		"build_and_run_instance", "terminate_instance", "reboot_instance",
+		"pause_instance", "unpause_instance", "suspend_instance",
+		"resume_instance", "rescue_instance", "unrescue_instance",
+		"snapshot_instance", "backup_instance", "rebuild_instance",
+		"resize_instance", "confirm_resize", "revert_resize",
+		"finish_resize", "prep_resize", "live_migration",
+		"pre_live_migration", "post_live_migration_at_destination",
+		"rollback_live_migration_at_destination", "shelve_instance",
+		"shelve_offload_instance", "unshelve_instance", "attach_volume",
+		"detach_volume", "swap_volume", "attach_interface",
+		"detach_interface", "inject_network_info", "reset_network",
+		"change_instance_metadata", "get_console_output",
+		"get_vnc_console", "get_diagnostics", "set_admin_password",
+		"inject_file", "trigger_crash_dump", "get_host_uptime",
+		"host_power_action", "host_maintenance_mode", "set_host_enabled",
+		"refresh_security_group_rules", "refresh_instance_security_rules",
+		"remove_fixed_ip_from_instance", "add_fixed_ip_to_instance",
+		"remove_volume_connection", "check_can_live_migrate_destination",
+		"check_can_live_migrate_source", "check_instance_shared_storage",
+		// scheduler
+		"select_destinations", "update_aggregates", "sync_instance_info",
+		// conductor
+		"instance_update", "object_action", "object_class_action_versions",
+		"build_instances", "migration_update", "task_log_begin_task",
+		"task_log_end_task", "notify_usage_exists",
+	}
+	out := make([]trace.API, 0, len(methods))
+	for i, m := range methods {
+		svc := trace.SvcNovaCompute
+		if i >= 50 { // scheduler + conductor methods live on the controller
+			svc = trace.SvcNova
+		}
+		out = append(out, trace.RPCAPI(svc, m))
+	}
+	return out
+}
+
+func imageREST() []trace.API {
+	var out []trace.API
+	for _, r := range []string{"images", "metadefs/namespaces", "tasks"} {
+		out = append(out, crossMethods(trace.SvcGlance, "v2", r)...)
+	}
+	out = append(out,
+		trace.RESTAPI(trace.SvcGlance, "PUT", "/v2/images/{id}/file"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/images/{id}/file"),
+		trace.RESTAPI(trace.SvcGlance, "PATCH", "/v2/images/{id}"),
+		trace.RESTAPI(trace.SvcGlance, "POST", "/v2/images/{id}/members"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/images/{id}/members"),
+		trace.RESTAPI(trace.SvcGlance, "DELETE", "/v2/images/{id}/members/{id}"),
+		trace.RESTAPI(trace.SvcGlance, "PUT", "/v2/images/{id}/members/{id}"),
+		trace.RESTAPI(trace.SvcGlance, "PUT", "/v2/images/{id}/tags/{id}"),
+		trace.RESTAPI(trace.SvcGlance, "DELETE", "/v2/images/{id}/tags/{id}"),
+		trace.RESTAPI(trace.SvcGlance, "POST", "/v2/images/{id}/actions/deactivate"),
+		trace.RESTAPI(trace.SvcGlance, "POST", "/v2/images/{id}/actions/reactivate"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/schemas/image"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/schemas/images"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/info/stores"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/info/import"),
+		trace.RESTAPI(trace.SvcGlance, "POST", "/v2/images/{id}/import"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/metadefs/resource_types"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/metadefs/namespaces/{id}/objects"),
+		trace.RESTAPI(trace.SvcGlance, "POST", "/v2/metadefs/namespaces/{id}/objects"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/metadefs/namespaces/{id}/properties"),
+		trace.RESTAPI(trace.SvcGlance, "POST", "/v2/metadefs/namespaces/{id}/properties"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/metadefs/namespaces/{id}/tags"),
+		trace.RESTAPI(trace.SvcGlance, "POST", "/v2/metadefs/namespaces/{id}/tags"),
+	)
+	return out
+}
+
+func imageRPC() []trace.API {
+	methods := []string{
+		"image_create", "image_update", "image_destroy", "image_get",
+		"image_get_all", "image_member_create", "image_member_delete",
+		"image_member_update", "image_tag_create", "image_tag_delete",
+	}
+	out := make([]trace.API, len(methods))
+	for i, m := range methods {
+		out[i] = trace.RPCAPI(trace.SvcGlance, m)
+	}
+	return out
+}
+
+func networkREST() []trace.API {
+	var out []trace.API
+	for _, r := range []string{
+		"networks", "subnets", "ports", "routers", "floatingips",
+		"security-groups", "security-group-rules", "subnetpools",
+		"metering/metering-labels", "qos/policies",
+	} {
+		out = append(out, crossMethods(trace.SvcNeutron, "v2.0", r)...)
+	}
+	out = append(out,
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/networks.json"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/ports.json"),
+		trace.RESTAPI(trace.SvcNeutron, "POST", "/v2.0/ports.json"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/quotas/{id}"),
+		trace.RESTAPI(trace.SvcNeutron, "PUT", "/v2.0/quotas/{id}"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/extensions"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/agents"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/agents/{id}"),
+		trace.RESTAPI(trace.SvcNeutron, "PUT", "/v2.0/routers/{id}/add_router_interface"),
+		trace.RESTAPI(trace.SvcNeutron, "PUT", "/v2.0/routers/{id}/remove_router_interface"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/service-providers"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/availability_zones"),
+		trace.RESTAPI(trace.SvcNeutron, "PUT", "/v2.0/networks/{id}/dhcp-agents"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/networks/{id}/dhcp-agents"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/security-groups.json"),
+		trace.RESTAPI(trace.SvcNeutron, "POST", "/v2.0/security-group-rules.json"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/floatingips.json"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/subnets.json"),
+		trace.RESTAPI(trace.SvcNeutron, "POST", "/v2.0/subnets.json"),
+		trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/routers.json"),
+	)
+	return out
+}
+
+func networkRPC() []trace.API {
+	agentMethods := []string{
+		"get_devices_details_list", "security_group_info_for_devices",
+		"port_update", "port_delete", "network_delete", "security_groups_rule_updated",
+		"security_groups_member_updated", "tunnel_sync", "tunnel_update",
+		"update_device_up", "update_device_down", "get_device_details",
+	}
+	serverMethods := []string{
+		"sync_routers", "get_ports", "update_floatingip_statuses",
+		"get_agent_count", "report_agent_resources", "release_dhcp_port",
+		"create_dhcp_port", "get_active_networks_info", "update_dhcp_port",
+		"get_network_info", "update_port_status", "get_service_plugin_list",
+	}
+	var out []trace.API
+	for _, m := range agentMethods {
+		out = append(out, trace.RPCAPI(trace.SvcNeutronAgent, m))
+	}
+	for _, m := range serverMethods {
+		out = append(out, trace.RPCAPI(trace.SvcNeutron, m))
+	}
+	return out
+}
+
+func storageREST() []trace.API {
+	var out []trace.API
+	for _, r := range []string{
+		"volumes", "snapshots", "backups", "types", "attachments",
+		"qos-specs", "os-volume-transfer",
+	} {
+		out = append(out, crossMethods(trace.SvcCinder, "v2", r)...)
+	}
+	out = append(out,
+		trace.RESTAPI(trace.SvcCinder, "GET", "/v2/volumes/detail"),
+		trace.RESTAPI(trace.SvcCinder, "POST", "/v2/volumes/{id}/action/os-attach"),
+		trace.RESTAPI(trace.SvcCinder, "POST", "/v2/volumes/{id}/action/os-detach"),
+		trace.RESTAPI(trace.SvcCinder, "POST", "/v2/volumes/{id}/action/os-extend"),
+		trace.RESTAPI(trace.SvcCinder, "POST", "/v2/volumes/{id}/action/os-reset_status"),
+		trace.RESTAPI(trace.SvcCinder, "GET", "/v2/scheduler-stats/get_pools"),
+		trace.RESTAPI(trace.SvcCinder, "GET", "/v2/limits"),
+	)
+	return out
+}
+
+func storageRPC() []trace.API {
+	methods := []string{
+		"create_volume", "delete_volume", "attach_volume", "detach_volume",
+		"extend_volume", "create_snapshot", "delete_snapshot",
+		"initialize_connection", "terminate_connection", "copy_volume_to_image",
+		"publish_service_capabilities",
+	}
+	out := make([]trace.API, len(methods))
+	for i, m := range methods {
+		out[i] = trace.RPCAPI(trace.SvcCinder, m)
+	}
+	return out
+}
+
+func miscREST() []trace.API {
+	return []trace.API{
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/os-keypairs"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/os-keypairs/{id}"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/os-availability-zone/detail"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/extensions"),
+		trace.RESTAPI(trace.SvcNova, "GET", "/v2.1/os-services/detail"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/projects"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/projects/{id}"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/users"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/users/{id}"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/roles"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/domains"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/services"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/endpoints"),
+		trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/regions"),
+		trace.RESTAPI(trace.SvcSwift, "GET", "/v1/{id}"),
+		trace.RESTAPI(trace.SvcSwift, "GET", "/v1/{id}/{id}"),
+		trace.RESTAPI(trace.SvcSwift, "PUT", "/v1/{id}/{id}"),
+		trace.RESTAPI(trace.SvcSwift, "HEAD", "/v1/{id}"),
+		trace.RESTAPI(trace.SvcSwift, "GET", "/info"),
+		trace.RESTAPI(trace.SvcHorizon, "GET", "/dashboard/api/usage"),
+	}
+}
+
+func miscRPC() []trace.API {
+	methods := []string{
+		"service_update", "service_get_all", "get_backdoor_port",
+		"agent_heartbeat_check", "availability_zone_sync", "quota_refresh",
+		"cache_images_status", "host_inventory_get", "audit_period_start",
+		"audit_period_end", "usage_report",
+	}
+	out := make([]trace.API, len(methods))
+	for i, m := range methods {
+		out[i] = trace.RPCAPI(trace.SvcNova, m)
+	}
+	return out
+}
+
+// Pools builds the five category API pools with the exact unique-API
+// counts of Table 1. It panics if a builder produced fewer than needed —
+// a programming error caught by tests.
+func Pools() map[Category]*APIPool {
+	builders := map[Category]struct {
+		rest, rpc func() []trace.API
+	}{
+		Compute: {computeREST, computeRPC},
+		Image:   {imageREST, imageRPC},
+		Network: {networkREST, networkRPC},
+		Storage: {storageREST, storageRPC},
+		Misc:    {miscREST, miscRPC},
+	}
+	out := make(map[Category]*APIPool, len(builders))
+	for cat, b := range builders {
+		spec := poolSpec[cat]
+		rest := dedupeAPIs(b.rest())
+		rpc := dedupeAPIs(b.rpc())
+		out[cat] = &APIPool{
+			Category: cat,
+			REST:     take(rest, spec.rest, cat.String()+" REST"),
+			RPC:      take(rpc, spec.rpc, cat.String()+" RPC"),
+		}
+	}
+	return out
+}
+
+func dedupeAPIs(in []trace.API) []trace.API {
+	seen := make(map[trace.API]bool, len(in))
+	out := in[:0]
+	for _, a := range in {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AuthAPIs are the Keystone calls every operation performs before real
+// work; GRETEL's noise filter removes them from fingerprints (§5
+// "Fingerprinting operations").
+var AuthAPIs = []trace.API{
+	trace.RESTAPI(trace.SvcKeystone, "POST", "/v3/auth/tokens"),
+	trace.RESTAPI(trace.SvcKeystone, "GET", "/v3/auth/tokens"),
+}
+
+// HeartbeatAPIs are the periodic status-update RPCs that run regardless of
+// user activity; also pruned as noise.
+var HeartbeatAPIs = []trace.API{
+	trace.RPCAPI(trace.SvcNova, "report_state"),
+	trace.RPCAPI(trace.SvcNeutron, "state_report"),
+	trace.RPCAPI(trace.SvcCinder, "report_capabilities"),
+}
+
+// NoiseAPIs returns the full noise set the fingerprint filter prunes:
+// heartbeats plus the common Keystone auth calls every operation performs.
+func NoiseAPIs() []trace.API {
+	out := make([]trace.API, 0, len(HeartbeatAPIs)+len(AuthAPIs))
+	out = append(out, HeartbeatAPIs...)
+	out = append(out, AuthAPIs...)
+	return out
+}

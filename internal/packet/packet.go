@@ -1,0 +1,298 @@
+// Package packet implements Ethernet/IPv4/TCP frame encoding and
+// decoding — the L2-L4 envelope around the simulated deployment's REST
+// and AMQP payloads.
+//
+// The paper's monitoring pipeline worked on real packets: Bro captured
+// them, tcpreplay replayed them (§6, §7.4.1). This package lets the
+// reproduction round-trip its wire traffic through the same shape: fabric
+// messages are wrapped in properly checksummed Ethernet+IPv4+TCP headers,
+// written to standard pcap files (package pcap), and parsed back into
+// monitor-consumable packets by walking the layers, in the style of a
+// minimal gopacket.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Header sizes (no options).
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	TCPHeaderLen      = 20
+	headerOverhead    = EthernetHeaderLen + IPv4HeaderLen + TCPHeaderLen
+)
+
+// EtherTypeIPv4 is the Ethernet payload type for IPv4.
+const EtherTypeIPv4 uint16 = 0x0800
+
+// ProtocolTCP is the IPv4 protocol number for TCP.
+const ProtocolTCP byte = 6
+
+// Parsing errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated frame")
+	ErrNotIPv4     = errors.New("packet: not an IPv4 frame")
+	ErrNotTCP      = errors.New("packet: not a TCP segment")
+	ErrBadChecksum = errors.New("packet: checksum mismatch")
+	ErrBadAddr     = errors.New("packet: bad address")
+)
+
+// Ethernet is the L2 header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+// IPv4 is the L3 header (no options).
+type IPv4 struct {
+	TOS      byte
+	ID       uint16
+	TTL      byte
+	Protocol byte
+	Src, Dst [4]byte
+}
+
+// TCP is the L4 header (no options).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            byte
+	Window           uint16
+}
+
+// TCP flag bits.
+const (
+	FlagFIN byte = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// Frame is a complete Ethernet/IPv4/TCP frame with payload.
+type Frame struct {
+	Eth     Ethernet
+	IP      IPv4
+	TCP     TCP
+	Payload []byte
+}
+
+// macFor derives a stable locally-administered MAC address from an IPv4
+// address (the simulation has no ARP; addresses only need consistency).
+func macFor(ip [4]byte) [6]byte {
+	return [6]byte{0x02, 0x00, ip[0], ip[1], ip[2], ip[3]}
+}
+
+// Build wraps payload in Ethernet/IPv4/TCP headers for the given
+// "ip:port" endpoints. Sequence numbers are the caller's to manage (zero
+// is acceptable for capture purposes).
+func Build(srcAddr, dstAddr string, payload []byte) (*Frame, error) {
+	src, err := netip.ParseAddrPort(srcAddr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrBadAddr, srcAddr)
+	}
+	dst, err := netip.ParseAddrPort(dstAddr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrBadAddr, dstAddr)
+	}
+	if !src.Addr().Is4() || !dst.Addr().Is4() {
+		return nil, fmt.Errorf("%w: IPv4 required", ErrBadAddr)
+	}
+	f := &Frame{
+		IP: IPv4{
+			TTL:      64,
+			Protocol: ProtocolTCP,
+			Src:      src.Addr().As4(),
+			Dst:      dst.Addr().As4(),
+		},
+		TCP: TCP{
+			SrcPort: src.Port(),
+			DstPort: dst.Port(),
+			Flags:   FlagPSH | FlagACK,
+			Window:  65535,
+		},
+		Payload: payload,
+	}
+	f.Eth = Ethernet{
+		Dst:       macFor(f.IP.Dst),
+		Src:       macFor(f.IP.Src),
+		EtherType: EtherTypeIPv4,
+	}
+	return f, nil
+}
+
+// SrcAddr renders the source "ip:port".
+func (f *Frame) SrcAddr() string {
+	return netip.AddrPortFrom(netip.AddrFrom4(f.IP.Src), f.TCP.SrcPort).String()
+}
+
+// DstAddr renders the destination "ip:port".
+func (f *Frame) DstAddr() string {
+	return netip.AddrPortFrom(netip.AddrFrom4(f.IP.Dst), f.TCP.DstPort).String()
+}
+
+// FlowID returns a direction-independent identifier for the frame's
+// 4-tuple, so both halves of a connection share an id (the replacement
+// for the simulator's connection ids when traffic round-trips through
+// pcap). FNV-1a over the sorted endpoints.
+func (f *Frame) FlowID() uint64 {
+	a := make([]byte, 0, 12)
+	x := append(append([]byte{}, f.IP.Src[:]...), byte(f.TCP.SrcPort>>8), byte(f.TCP.SrcPort))
+	y := append(append([]byte{}, f.IP.Dst[:]...), byte(f.TCP.DstPort>>8), byte(f.TCP.DstPort))
+	if lessBytes(y, x) {
+		x, y = y, x
+	}
+	a = append(append(a, x...), y...)
+	var h uint64 = 14695981039346656037
+	for _, c := range a {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func lessBytes(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Marshal encodes the frame with correct length fields, the IPv4 header
+// checksum, and the TCP checksum over the pseudo-header.
+func (f *Frame) Marshal() []byte {
+	total := headerOverhead + len(f.Payload)
+	out := make([]byte, total)
+
+	// Ethernet.
+	copy(out[0:6], f.Eth.Dst[:])
+	copy(out[6:12], f.Eth.Src[:])
+	binary.BigEndian.PutUint16(out[12:14], f.Eth.EtherType)
+
+	// IPv4.
+	ip := out[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = f.IP.TOS
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4HeaderLen+TCPHeaderLen+len(f.Payload)))
+	binary.BigEndian.PutUint16(ip[4:6], f.IP.ID)
+	// no fragmentation: flags/offset zero
+	ip[8] = f.IP.TTL
+	ip[9] = f.IP.Protocol
+	copy(ip[12:16], f.IP.Src[:])
+	copy(ip[16:20], f.IP.Dst[:])
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip, 0))
+
+	// TCP.
+	tcp := out[EthernetHeaderLen+IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:2], f.TCP.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], f.TCP.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], f.TCP.Seq)
+	binary.BigEndian.PutUint32(tcp[8:12], f.TCP.Ack)
+	tcp[12] = 5 << 4 // data offset 5 words
+	tcp[13] = f.TCP.Flags
+	binary.BigEndian.PutUint16(tcp[14:16], f.TCP.Window)
+	copy(tcp[TCPHeaderLen:], f.Payload)
+	binary.BigEndian.PutUint16(tcp[16:18], f.tcpChecksum(tcp))
+
+	return out
+}
+
+// tcpChecksum computes the TCP checksum over the pseudo-header and
+// segment (with the checksum field zeroed).
+func (f *Frame) tcpChecksum(segment []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], f.IP.Src[:])
+	copy(pseudo[4:8], f.IP.Dst[:])
+	pseudo[9] = ProtocolTCP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	sum := partialChecksum(pseudo[:], 0)
+	return checksum(segment, sum)
+}
+
+// partialChecksum folds data into a running ones-complement sum.
+func partialChecksum(data []byte, sum uint32) uint32 {
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	return sum
+}
+
+// checksum finalizes the ones-complement checksum of data (plus a prior
+// partial sum). The checksum field inside data must be zero.
+func checksum(data []byte, prior uint32) uint16 {
+	sum := partialChecksum(data, prior)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// Parse decodes an Ethernet/IPv4/TCP frame, verifying both checksums.
+func Parse(raw []byte) (*Frame, error) {
+	if len(raw) < headerOverhead {
+		return nil, ErrTruncated
+	}
+	var f Frame
+	copy(f.Eth.Dst[:], raw[0:6])
+	copy(f.Eth.Src[:], raw[6:12])
+	f.Eth.EtherType = binary.BigEndian.Uint16(raw[12:14])
+	if f.Eth.EtherType != EtherTypeIPv4 {
+		return nil, ErrNotIPv4
+	}
+
+	ip := raw[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return nil, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return nil, ErrTruncated
+	}
+	if checksum(ip[:ihl], 0) != 0 {
+		return nil, fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
+	}
+	f.IP.TOS = ip[1]
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	f.IP.ID = binary.BigEndian.Uint16(ip[4:6])
+	f.IP.TTL = ip[8]
+	f.IP.Protocol = ip[9]
+	copy(f.IP.Src[:], ip[12:16])
+	copy(f.IP.Dst[:], ip[16:20])
+	if f.IP.Protocol != ProtocolTCP {
+		return nil, ErrNotTCP
+	}
+	if totalLen < ihl+TCPHeaderLen || len(ip) < totalLen {
+		return nil, ErrTruncated
+	}
+
+	tcp := ip[ihl:totalLen]
+	f.TCP.SrcPort = binary.BigEndian.Uint16(tcp[0:2])
+	f.TCP.DstPort = binary.BigEndian.Uint16(tcp[2:4])
+	f.TCP.Seq = binary.BigEndian.Uint32(tcp[4:8])
+	f.TCP.Ack = binary.BigEndian.Uint32(tcp[8:12])
+	dataOff := int(tcp[12]>>4) * 4
+	if dataOff < TCPHeaderLen || len(tcp) < dataOff {
+		return nil, ErrTruncated
+	}
+	f.TCP.Flags = tcp[13]
+	f.TCP.Window = binary.BigEndian.Uint16(tcp[14:16])
+	// Verify the TCP checksum: zero the field and recompute.
+	seg := make([]byte, len(tcp))
+	copy(seg, tcp)
+	stored := binary.BigEndian.Uint16(seg[16:18])
+	seg[16], seg[17] = 0, 0
+	if f2 := (&Frame{IP: f.IP}); f2.tcpChecksum(seg) != stored {
+		return nil, fmt.Errorf("%w: TCP", ErrBadChecksum)
+	}
+	f.Payload = tcp[dataOff:]
+	return &f, nil
+}

@@ -1,0 +1,158 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildMarshalParseRoundTrip(t *testing.T) {
+	payload := []byte("GET /v2.1/servers HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+	f, err := Build("10.0.0.11:43210", "10.0.0.13:8774", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.TCP.Seq = 12345
+	raw := f.Marshal()
+	if len(raw) != headerOverhead+len(payload) {
+		t.Fatalf("frame length = %d", len(raw))
+	}
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcAddr() != "10.0.0.11:43210" || got.DstAddr() != "10.0.0.13:8774" {
+		t.Fatalf("addresses: %s -> %s", got.SrcAddr(), got.DstAddr())
+	}
+	if got.TCP.Seq != 12345 {
+		t.Fatalf("seq = %d", got.TCP.Seq)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload mismatch: %q", got.Payload)
+	}
+	if got.IP.TTL != 64 || got.IP.Protocol != ProtocolTCP {
+		t.Fatalf("IP fields: %+v", got.IP)
+	}
+}
+
+func TestBuildRejectsBadAddresses(t *testing.T) {
+	if _, err := Build("nonsense", "10.0.0.1:80", nil); !errors.Is(err, ErrBadAddr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Build("10.0.0.1:80", "nonsense", nil); !errors.Is(err, ErrBadAddr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Build("[::1]:80", "10.0.0.1:80", nil); !errors.Is(err, ErrBadAddr) {
+		t.Fatalf("IPv6 accepted: %v", err)
+	}
+}
+
+func TestParseDetectsIPv4Corruption(t *testing.T) {
+	f, _ := Build("10.0.0.1:1000", "10.0.0.2:2000", []byte("hello"))
+	raw := f.Marshal()
+	raw[EthernetHeaderLen+8]++ // flip the TTL: IPv4 header checksum breaks
+	if _, err := Parse(raw); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want checksum error", err)
+	}
+}
+
+func TestParseDetectsPayloadCorruption(t *testing.T) {
+	f, _ := Build("10.0.0.1:1000", "10.0.0.2:2000", []byte("hello world"))
+	raw := f.Marshal()
+	raw[len(raw)-1] ^= 0xff // corrupt payload: TCP checksum breaks
+	if _, err := Parse(raw); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want TCP checksum error", err)
+	}
+}
+
+func TestParseRejectsNonIPv4(t *testing.T) {
+	f, _ := Build("10.0.0.1:1", "10.0.0.2:2", nil)
+	raw := f.Marshal()
+	raw[12], raw[13] = 0x86, 0xdd // EtherType IPv6
+	if _, err := Parse(raw); !errors.Is(err, ErrNotIPv4) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsNonTCP(t *testing.T) {
+	f, _ := Build("10.0.0.1:1", "10.0.0.2:2", nil)
+	f.IP.Protocol = 17 // UDP
+	raw := f.Marshal()
+	if _, err := Parse(raw); !errors.Is(err, ErrNotTCP) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	f, _ := Build("10.0.0.1:1", "10.0.0.2:2", []byte("data"))
+	raw := f.Marshal()
+	for _, cut := range []int{0, 10, EthernetHeaderLen + 5, len(raw) - 1} {
+		if _, err := Parse(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d parsed", cut)
+		}
+	}
+}
+
+func TestFlowIDSymmetric(t *testing.T) {
+	a, _ := Build("10.0.0.1:1000", "10.0.0.2:2000", nil)
+	b, _ := Build("10.0.0.2:2000", "10.0.0.1:1000", nil)
+	if a.FlowID() != b.FlowID() {
+		t.Fatal("flow id not direction-independent")
+	}
+	c, _ := Build("10.0.0.1:1001", "10.0.0.2:2000", nil)
+	if a.FlowID() == c.FlowID() {
+		t.Fatal("distinct flows share an id")
+	}
+}
+
+func TestMACDerivation(t *testing.T) {
+	f, _ := Build("10.0.0.7:1", "10.0.0.9:2", nil)
+	if f.Eth.Src[0] != 0x02 || f.Eth.Src[5] != 7 || f.Eth.Dst[5] != 9 {
+		t.Fatalf("MACs: src=%x dst=%x", f.Eth.Src, f.Eth.Dst)
+	}
+}
+
+// Property: any payload round-trips intact with valid checksums.
+func TestQuickRoundTrip(t *testing.T) {
+	fn := func(payload []byte, srcPort, dstPort uint16) bool {
+		if srcPort == 0 || dstPort == 0 {
+			return true
+		}
+		f, err := Build("192.168.1.10:"+itoa(srcPort), "192.168.1.20:"+itoa(dstPort), payload)
+		if err != nil {
+			return false
+		}
+		got, err := Parse(f.Marshal())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Payload, payload) &&
+			got.TCP.SrcPort == srcPort && got.TCP.DstPort == dstPort
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v uint16) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [5]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Odd-length payloads exercise the checksum padding path.
+func TestOddLengthChecksum(t *testing.T) {
+	f, _ := Build("10.0.0.1:1", "10.0.0.2:2", []byte("odd"))
+	if _, err := Parse(f.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+}

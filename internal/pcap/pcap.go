@@ -1,0 +1,160 @@
+// Package pcap reads and writes the classic libpcap capture file format
+// (the format Bro ingests and tcpreplay replays, §6/§7.4.1):
+// a 24-byte global header followed by per-packet records with
+// microsecond timestamps. Only the parts the reproduction needs are
+// implemented: linktype EN10MB (Ethernet), microsecond magic, host-order
+// native writing and both byte orders on read.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MagicMicroseconds is the standard pcap magic for microsecond
+// timestamps, written in the producer's byte order.
+const MagicMicroseconds = 0xa1b2c3d4
+
+// LinkTypeEthernet is DLT_EN10MB.
+const LinkTypeEthernet = 1
+
+// DefaultSnapLen is the capture length limit we write.
+const DefaultSnapLen = 262144
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("pcap: unrecognized magic number")
+	ErrTruncated = errors.New("pcap: truncated file")
+)
+
+// Packet is one captured record.
+type Packet struct {
+	Time time.Time
+	// Data is the captured frame (possibly snapped short of Orig).
+	Data []byte
+	// Orig is the original wire length.
+	Orig int
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	wrote   bool
+	Count   uint64
+}
+
+// NewWriter creates a writer; the global header is emitted lazily before
+// the first packet (or by Flush on an empty capture).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, snapLen: DefaultSnapLen}
+}
+
+func (w *Writer) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MagicMicroseconds)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // minor
+	binary.LittleEndian.PutUint32(hdr[16:20], w.snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	_, err := w.w.Write(hdr[:])
+	w.wrote = true
+	return err
+}
+
+// WritePacket appends one record, snapping data to the snap length.
+func (w *Writer) WritePacket(t time.Time, data []byte) error {
+	if !w.wrote {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	orig := len(data)
+	if uint32(len(data)) > w.snapLen {
+		data = data[:w.snapLen]
+	}
+	var rec [16]byte
+	usec := t.UnixMicro()
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(usec/1e6))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(usec%1e6))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(orig))
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return err
+	}
+	w.Count++
+	return nil
+}
+
+// Flush ensures at least the global header exists (empty captures are
+// still valid pcap files).
+func (w *Writer) Flush() error {
+	if !w.wrote {
+		return w.writeHeader()
+	}
+	return nil
+}
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	snapLen  uint32
+	LinkType uint32
+}
+
+// NewReader validates the global header and prepares to read records.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: global header", ErrTruncated)
+	}
+	var order binary.ByteOrder
+	switch {
+	case binary.LittleEndian.Uint32(hdr[0:4]) == MagicMicroseconds:
+		order = binary.LittleEndian
+	case binary.BigEndian.Uint32(hdr[0:4]) == MagicMicroseconds:
+		order = binary.BigEndian
+	default:
+		return nil, ErrBadMagic
+	}
+	return &Reader{
+		r:        r,
+		order:    order,
+		snapLen:  order.Uint32(hdr[16:20]),
+		LinkType: order.Uint32(hdr[20:24]),
+	}, nil
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (*Packet, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: record header", ErrTruncated)
+	}
+	sec := r.order.Uint32(rec[0:4])
+	usec := r.order.Uint32(rec[4:8])
+	capLen := r.order.Uint32(rec[8:12])
+	origLen := r.order.Uint32(rec[12:16])
+	if capLen > r.snapLen && r.snapLen > 0 {
+		return nil, fmt.Errorf("pcap: record capture length %d exceeds snaplen %d", capLen, r.snapLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return nil, fmt.Errorf("%w: record body", ErrTruncated)
+	}
+	return &Packet{
+		Time: time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		Data: data,
+		Orig: int(origLen),
+	}, nil
+}

@@ -1,0 +1,144 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2016, 12, 12, 10, 30, 0, 123456000, time.UTC)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	packets := [][]byte{
+		[]byte("first frame bytes"),
+		[]byte("second"),
+		bytes.Repeat([]byte{0xab}, 1500),
+	}
+	for i, p := range packets {
+		if err := w.WritePacket(t0.Add(time.Duration(i)*time.Millisecond), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count != 3 {
+		t.Fatalf("Count = %d", w.Count)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Fatalf("link type = %d", r.LinkType)
+	}
+	for i, want := range packets {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Data, want) || rec.Orig != len(want) {
+			t.Fatalf("packet %d mismatch", i)
+		}
+		wantT := t0.Add(time.Duration(i) * time.Millisecond)
+		if !rec.Time.Equal(wantT) {
+			t.Fatalf("packet %d time = %v, want %v", i, rec.Time, wantT)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestEmptyCaptureStillValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-build a big-endian capture with one 4-byte packet.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MagicMicroseconds)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:4], uint32(t0.Unix()))
+	binary.BigEndian.PutUint32(rec[4:8], 500)
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 4)
+	buf.Write(rec[:])
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Data, []byte{1, 2, 3, 4}) {
+		t.Fatalf("data = %v", p.Data)
+	}
+	if p.Time.UnixMicro() != t0.Unix()*1e6+500 {
+		t.Fatalf("time = %v", p.Time)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedHeaderAndRecord(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header err = %v", err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WritePacket(t0, []byte("abcdef"))
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated record err = %v", err)
+	}
+}
+
+func TestSnapLenApplied(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.snapLen = 8
+	big := bytes.Repeat([]byte{7}, 100)
+	if err := w.WritePacket(t0, big); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 8 || p.Orig != 100 {
+		t.Fatalf("snapped: cap=%d orig=%d", len(p.Data), p.Orig)
+	}
+}

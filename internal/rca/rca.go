@@ -1,0 +1,324 @@
+// Package rca implements GRETEL's root-cause analysis (Algorithm 3):
+// given a fault report — the matched operations, the error messages in
+// the snapshot, and their source/destination nodes — it inspects
+// distributed state collected passively (resource time series from the
+// collectd analogue, software-dependency watcher status) to name the
+// likely root cause.
+//
+// Per the paper, the engine first examines the nodes the error messages
+// touch; only if nothing anomalous is found there does it widen to the
+// remaining nodes participating in the operation, since the true root
+// cause may sit upstream of where the fault surfaced (§5.4, §7.2.3).
+//
+// The engine reads distributed state through the StateSource interface:
+// in-process runs adapt the simulated fabric directly (NewFabricSource);
+// the split analyzer service accumulates agents' StateUpdates into a
+// Store (NewStore) — the collectd-to-analyzer pipeline of §6.
+package rca
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gretel/internal/agent"
+	"gretel/internal/cluster"
+	"gretel/internal/core"
+	"gretel/internal/fingerprint"
+	"gretel/internal/metrics"
+	"gretel/internal/trace"
+	"gretel/internal/tsoutliers"
+)
+
+// StateSource is the engine's view of the deployment's distributed state.
+type StateSource interface {
+	// NodeStates returns the current node inventory with dependency health.
+	NodeStates() []agent.NodeState
+	// MetricWindow returns each metric's samples for a node in [from, to].
+	MetricWindow(node string, from, to time.Time) map[string][]metrics.Point
+}
+
+// Config tunes the anomaly judgments over node state.
+type Config struct {
+	// Lookback bounds the metric window inspected before the fault.
+	Lookback time.Duration
+	// CPUHighPct flags sustained CPU above this level.
+	CPUHighPct float64
+	// DiskLowGB flags free disk below this level.
+	DiskLowGB float64
+	// MemHighFrac flags memory usage above this fraction of total.
+	MemHighFrac float64
+	// Shift configures the level-shift detector replayed over each
+	// metric window.
+	Shift tsoutliers.Options
+}
+
+func (c *Config) defaults() {
+	if c.Lookback == 0 {
+		c.Lookback = 120 * time.Second
+	}
+	if c.CPUHighPct == 0 {
+		c.CPUHighPct = 85
+	}
+	if c.DiskLowGB == 0 {
+		c.DiskLowGB = 5
+	}
+	if c.MemHighFrac == 0 {
+		c.MemHighFrac = 0.95
+	}
+	if c.Shift.MinSpread == 0 {
+		c.Shift.MinSpread = 1.5
+	}
+	if c.Shift.Warmup == 0 {
+		c.Shift.Warmup = 10
+	}
+}
+
+// Engine evaluates root causes against a deployment's observable state.
+type Engine struct {
+	cfg Config
+	lib *fingerprint.Library
+	src StateSource
+}
+
+// NewEngine builds the engine over the fingerprint library (for
+// operation→node mapping) and a state source.
+func NewEngine(lib *fingerprint.Library, src StateSource, cfg Config) *Engine {
+	cfg.defaults()
+	return &Engine{cfg: cfg, lib: lib, src: src}
+}
+
+// fabricSource adapts the in-process simulation (fabric + collector).
+type fabricSource struct {
+	fabric    *cluster.Fabric
+	collector *metrics.Collector
+}
+
+// NewFabricSource adapts a simulated fabric and its metrics collector to
+// the StateSource interface.
+func NewFabricSource(f *cluster.Fabric, c *metrics.Collector) StateSource {
+	return &fabricSource{fabric: f, collector: c}
+}
+
+func (s *fabricSource) NodeStates() []agent.NodeState {
+	var out []agent.NodeState
+	for _, n := range s.fabric.Nodes() {
+		ns := agent.NodeState{
+			Name: n.Name, Service: n.Service, Up: n.Up, MemTotalMB: n.Base.MemTotalMB,
+		}
+		for _, d := range n.Dependencies() {
+			ns.Deps = append(ns.Deps, agent.DepStatus{Node: n.Name, Name: d.Name, Running: d.Running && n.Up})
+		}
+		out = append(out, ns)
+	}
+	return out
+}
+
+func (s *fabricSource) MetricWindow(node string, from, to time.Time) map[string][]metrics.Point {
+	return s.collector.Snapshot(node, from, to)
+}
+
+// Store accumulates StateUpdates streamed by remote agents and serves
+// them as a StateSource — the analyzer-service side of the collectd
+// pipeline. Safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	nodes     map[string]agent.NodeState
+	collector *metrics.Collector
+}
+
+// NewStore returns an empty state store.
+func NewStore() *Store {
+	return &Store{nodes: make(map[string]agent.NodeState), collector: metrics.NewCollector()}
+}
+
+// Apply merges one update.
+func (s *Store) Apply(u agent.StateUpdate) {
+	s.mu.Lock()
+	for _, n := range u.Nodes {
+		s.nodes[n.Name] = n
+	}
+	s.mu.Unlock()
+	for _, m := range u.Samples {
+		s.collector.Record(m.Node, m.Metric, m.Time, m.Value)
+	}
+}
+
+// NodeStates implements StateSource.
+func (s *Store) NodeStates() []agent.NodeState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]agent.NodeState, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		out = append(out, n)
+	}
+	sortNodeStates(out)
+	return out
+}
+
+func sortNodeStates(ns []agent.NodeState) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].Name < ns[j-1].Name; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// MetricWindow implements StateSource.
+func (s *Store) MetricWindow(node string, from, to time.Time) map[string][]metrics.Point {
+	return s.collector.Snapshot(node, from, to)
+}
+
+// Hook adapts the engine to the analyzer's RCA hook signature.
+func (e *Engine) Hook() func(*core.Report) []core.RootCause {
+	return e.Analyze
+}
+
+// Analyze implements GET_ROOT_CAUSE: error nodes first, then the
+// remaining operation nodes.
+func (e *Engine) Analyze(rep *core.Report) []core.RootCause {
+	at := rep.Fault.Time
+	nodes := e.src.NodeStates()
+	opNodes := e.nodesForOperations(rep.Candidates, nodes)
+
+	errorNodes := map[string]bool{}
+	for i := range rep.Errors {
+		ev := &rep.Errors[i]
+		if ev.SrcNode != "" {
+			errorNodes[ev.SrcNode] = true
+		}
+		if ev.DstNode != "" {
+			errorNodes[ev.DstNode] = true
+		}
+	}
+	if len(rep.Errors) == 0 {
+		// Performance faults carry no error messages; start from the
+		// slow message's endpoints.
+		if rep.Fault.SrcNode != "" {
+			errorNodes[rep.Fault.SrcNode] = true
+		}
+		if rep.Fault.DstNode != "" {
+			errorNodes[rep.Fault.DstNode] = true
+		}
+	}
+
+	var first, rest []agent.NodeState
+	for _, n := range nodes {
+		switch {
+		case errorNodes[n.Name]:
+			first = append(first, n)
+		case opNodes[n.Name]:
+			rest = append(rest, n)
+		}
+	}
+
+	causes := e.findRootCause(first, at)
+	if len(causes) == 0 {
+		causes = e.findRootCause(rest, at)
+	}
+	return causes
+}
+
+// nodesForOperations maps the matched operations to deployment nodes via
+// their fingerprints' services. nova-compute and neutron-agent APIs map
+// to every compute host.
+func (e *Engine) nodesForOperations(names []string, nodes []agent.NodeState) map[string]bool {
+	svcWanted := map[trace.Service]bool{}
+	for _, name := range names {
+		fp := e.lib.ByName(name)
+		if fp == nil {
+			continue
+		}
+		for _, api := range fp.APIs {
+			svcWanted[api.Service] = true
+			if api.Service == trace.SvcNovaCompute || api.Service == trace.SvcNeutronAgent {
+				svcWanted[trace.SvcNovaCompute] = true
+			}
+		}
+	}
+	out := map[string]bool{}
+	for _, n := range nodes {
+		if svcWanted[n.Service] {
+			out[n.Name] = true
+		}
+		if n.Service == trace.SvcNovaCompute &&
+			(svcWanted[trace.SvcNovaCompute] || svcWanted[trace.SvcNeutronAgent]) {
+			out[n.Name] = true
+		}
+	}
+	return out
+}
+
+// findRootCause implements FIND_ROOT_CAUSE over a node list: anomalies in
+// resource metadata, then software-dependency health.
+func (e *Engine) findRootCause(nodes []agent.NodeState, at time.Time) []core.RootCause {
+	var out []core.RootCause
+	for _, n := range nodes {
+		out = append(out, e.resourceAnomalies(n, at)...)
+		for _, dep := range n.Deps {
+			if !dep.Running || !n.Up {
+				detail := fmt.Sprintf("dependency %s is not running", dep.Name)
+				if !n.Up {
+					detail = fmt.Sprintf("node down (dependency %s unreachable)", dep.Name)
+				}
+				out = append(out, core.RootCause{Node: n.Name, Kind: "software", Detail: detail})
+			}
+		}
+	}
+	return out
+}
+
+// resourceAnomalies judges one node's metric windows: hard thresholds
+// (disk nearly full, CPU pegged, memory exhausted) plus level shifts in
+// the CPU and network series.
+func (e *Engine) resourceAnomalies(n agent.NodeState, at time.Time) []core.RootCause {
+	var out []core.RootCause
+	from := at.Add(-e.cfg.Lookback)
+	snap := e.src.MetricWindow(n.Name, from, at)
+
+	if pts := snap[metrics.MetricDiskFree]; len(pts) > 0 {
+		if last := pts[len(pts)-1].Value; last < e.cfg.DiskLowGB {
+			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
+				Detail: fmt.Sprintf("low free disk space (%.1f GB)", last)})
+		}
+	}
+	if pts := snap[metrics.MetricMemUsed]; len(pts) > 0 {
+		if last := pts[len(pts)-1].Value; n.MemTotalMB > 0 && last > e.cfg.MemHighFrac*n.MemTotalMB {
+			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
+				Detail: fmt.Sprintf("memory exhaustion (%.0f MB used)", last)})
+		}
+	}
+	if pts := snap[metrics.MetricCPU]; len(pts) > 0 {
+		st := metrics.Summarize(pts)
+		shifted, to := e.levelShift(pts)
+		switch {
+		case st.Mean > e.cfg.CPUHighPct:
+			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
+				Detail: fmt.Sprintf("sustained high CPU (mean %.1f%%)", st.Mean)})
+		case shifted && to > st.Min+10:
+			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
+				Detail: fmt.Sprintf("CPU usage surge (level shift to %.1f%%)", to)})
+		}
+	}
+	if pts := snap[metrics.MetricNet]; len(pts) > 0 {
+		if shifted, to := e.levelShift(pts); shifted && to > 50 {
+			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
+				Detail: fmt.Sprintf("network throughput surge (%.1f Mbps)", to)})
+		}
+	}
+	return out
+}
+
+// levelShift replays a metric window through a fresh LS detector and
+// reports whether a shift occurred and its final level.
+func (e *Engine) levelShift(pts []metrics.Point) (bool, float64) {
+	det := tsoutliers.New(e.cfg.Shift)
+	for _, p := range pts {
+		det.Observe(p.Time, p.Value)
+	}
+	shifts := det.Shifts()
+	if len(shifts) == 0 {
+		return false, 0
+	}
+	return true, shifts[len(shifts)-1].To
+}

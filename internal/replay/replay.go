@@ -1,0 +1,243 @@
+// Package replay is the tcpreplay analogue (§7.4.1): it synthesizes
+// high-rate REST/RPC event streams shaped like concurrent OpenStack
+// operations, with a configurable fault frequency, and drives them
+// through the GRETEL analyzer (or the HANSEL baseline) at full speed to
+// measure sustained processing throughput.
+//
+// The paper replayed captured RPC events at up to 50 Kpps and measured
+// the throughput GRETEL sustained for fault frequencies from 1/100 to
+// 1/2K messages (Fig 8c). Event timestamps here advance on a virtual
+// clock at the configured packet rate; the measurement is wall-clock
+// processing time, so Mbps = wire bytes processed / wall seconds.
+package replay
+
+import (
+	"math/rand"
+	"time"
+
+	"gretel/internal/core"
+	"gretel/internal/hansel"
+	"gretel/internal/openstack"
+	"gretel/internal/trace"
+)
+
+// StreamConfig shapes a synthetic workload stream.
+type StreamConfig struct {
+	// Ops is the operation mix the stream interleaves.
+	Ops []*openstack.Operation
+	// Concurrency is the number of simultaneously progressing operation
+	// instances.
+	Concurrency int
+	// Events is the total number of messages to generate.
+	Events int
+	// FaultEvery injects one REST error per this many messages (0 = no
+	// faults).
+	FaultEvery int
+	// PPS sets the virtual packets-per-second rate used for timestamps.
+	PPS int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *StreamConfig) defaults() {
+	if c.Concurrency == 0 {
+		c.Concurrency = 100
+	}
+	if c.Events == 0 {
+		c.Events = 100000
+	}
+	if c.PPS == 0 {
+		c.PPS = 50000
+	}
+}
+
+// cursor walks one operation instance through its steps.
+type cursor struct {
+	op   *openstack.Operation
+	id   uint64
+	step int
+	// pendingResp holds a response event to emit right after a request.
+	pendingResp *trace.Event
+}
+
+// Synthesize generates the event stream. Each operation step yields a
+// request event followed (a few messages later) by its response; faults
+// flip the response of the current message slot into an error, after
+// which that instance stops (as a failed operation would).
+func Synthesize(cfg StreamConfig) []trace.Event {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if len(cfg.Ops) == 0 {
+		cfg.Ops = openstack.CoreOperations()
+	}
+
+	var nextID uint64
+	newCursor := func() *cursor {
+		nextID++
+		return &cursor{op: cfg.Ops[rng.Intn(len(cfg.Ops))], id: nextID}
+	}
+	cursors := make([]*cursor, cfg.Concurrency)
+	for i := range cursors {
+		cursors[i] = newCursor()
+	}
+
+	interval := time.Second / time.Duration(cfg.PPS)
+	now := time.Date(2016, 12, 12, 0, 0, 0, 0, time.UTC)
+	var connID uint64
+	var msgSeq uint64
+
+	out := make([]trace.Event, 0, cfg.Events)
+	emit := func(ev trace.Event) {
+		ev.Seq = uint64(len(out) + 1)
+		ev.Time = now
+		now = now.Add(interval)
+		out = append(out, ev)
+	}
+
+	for len(out) < cfg.Events {
+		c := cursors[rng.Intn(len(cursors))]
+		if c.pendingResp != nil {
+			resp := *c.pendingResp
+			c.pendingResp = nil
+			faulty := cfg.FaultEvery > 0 && (len(out)+1)%cfg.FaultEvery == 0 &&
+				resp.Type == trace.RESTResponse
+			if faulty {
+				resp.Status = 500
+				resp.ErrorText = "Internal Server Error (injected)"
+			}
+			emit(resp)
+			if faulty {
+				// Failed instance: replace with a fresh one.
+				*c = *newCursor()
+				continue
+			}
+			c.step++
+			if c.step >= len(c.op.Steps) {
+				*c = *newCursor()
+			}
+			continue
+		}
+
+		step := c.op.Steps[c.step]
+		wire := 150 + rng.Intn(120)
+		switch step.API.Kind {
+		case trace.REST:
+			connID++
+			emit(trace.Event{
+				Type: trace.RESTRequest, API: step.API, ConnID: connID,
+				OpID: c.id, OpName: c.op.Name, WireBytes: wire,
+				SrcNode: step.Caller.String() + "-node", DstNode: step.API.Service.String() + "-node",
+			})
+			c.pendingResp = &trace.Event{
+				Type: trace.RESTResponse, API: step.API, ConnID: connID, Status: 200,
+				OpID: c.id, OpName: c.op.Name, WireBytes: wire + 30,
+				SrcNode: step.API.Service.String() + "-node", DstNode: step.Caller.String() + "-node",
+			}
+		default:
+			msgSeq++
+			mid := "rp-" + u64str(msgSeq)
+			emit(trace.Event{
+				Type: trace.RPCCall, API: step.API, MsgID: mid,
+				OpID: c.id, OpName: c.op.Name, WireBytes: wire + 60,
+				SrcNode: step.Caller.String() + "-node", DstNode: "rabbitmq-node",
+			})
+			c.pendingResp = &trace.Event{
+				Type: trace.RPCReply, API: step.API, MsgID: mid,
+				OpID: c.id, OpName: c.op.Name, WireBytes: wire,
+				SrcNode: "rabbitmq-node", DstNode: step.Caller.String() + "-node",
+			}
+		}
+	}
+	return out
+}
+
+func u64str(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Result summarizes one replay run.
+type Result struct {
+	Events       int
+	Bytes        uint64
+	Wall         time.Duration
+	EventsPerSec float64
+	Mbps         float64
+	Reports      int
+	// MaxReportDelay is the worst virtual-time delay between a fault
+	// message and its report (the paper observed <2 s).
+	MaxReportDelay time.Duration
+}
+
+// Drive pushes the stream through a GRETEL analyzer at full speed.
+func Drive(a *core.Analyzer, events []trace.Event) Result {
+	start := time.Now()
+	for i := range events {
+		a.Ingest(events[i])
+	}
+	a.Flush()
+	wall := time.Since(start)
+
+	var bytes uint64
+	for i := range events {
+		bytes += uint64(events[i].WireBytes)
+	}
+	res := Result{
+		Events:  len(events),
+		Bytes:   bytes,
+		Wall:    wall,
+		Reports: len(a.Reports()),
+	}
+	if wall > 0 {
+		res.EventsPerSec = float64(len(events)) / wall.Seconds()
+		res.Mbps = float64(bytes) * 8 / 1e6 / wall.Seconds()
+	}
+	for _, rep := range a.Reports() {
+		if rep.ReportDelay > res.MaxReportDelay {
+			res.MaxReportDelay = rep.ReportDelay
+		}
+	}
+	return res
+}
+
+// DriveHansel pushes the same stream through the HANSEL baseline.
+func DriveHansel(s *hansel.Stitcher, events []trace.Event) Result {
+	start := time.Now()
+	for i := range events {
+		s.Ingest(events[i])
+	}
+	if len(events) > 0 {
+		s.Flush(events[len(events)-1].Time)
+	}
+	wall := time.Since(start)
+
+	var bytes uint64
+	for i := range events {
+		bytes += uint64(events[i].WireBytes)
+	}
+	res := Result{
+		Events:  len(events),
+		Bytes:   bytes,
+		Wall:    wall,
+		Reports: len(s.Reports()),
+	}
+	if wall > 0 {
+		res.EventsPerSec = float64(len(events)) / wall.Seconds()
+		res.Mbps = float64(bytes) * 8 / 1e6 / wall.Seconds()
+	}
+	for _, rep := range s.Reports() {
+		if d := rep.ReportedAt.Sub(rep.Fault.Time); d > res.MaxReportDelay {
+			res.MaxReportDelay = d
+		}
+	}
+	return res
+}

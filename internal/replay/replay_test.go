@@ -1,0 +1,123 @@
+package replay
+
+import (
+	"testing"
+
+	"gretel/internal/core"
+	"gretel/internal/hansel"
+	"gretel/internal/scenario"
+	"gretel/internal/trace"
+)
+
+func TestSynthesizeShape(t *testing.T) {
+	events := Synthesize(StreamConfig{Events: 5000, Concurrency: 50, FaultEvery: 500, Seed: 1})
+	if len(events) != 5000 {
+		t.Fatalf("events = %d", len(events))
+	}
+	var faults, reqs, resps int
+	for i := range events {
+		ev := &events[i]
+		if ev.Faulty() {
+			faults++
+		}
+		if ev.Type.Request() {
+			reqs++
+		} else {
+			resps++
+		}
+		if i > 0 && !events[i].Time.After(events[i-1].Time) {
+			t.Fatal("timestamps not increasing")
+		}
+		if ev.WireBytes == 0 || ev.OpID == 0 || ev.OpName == "" {
+			t.Fatalf("event missing fields: %+v", ev)
+		}
+	}
+	// Roughly 1/500 messages faulty (only REST slots are eligible).
+	if faults == 0 || faults > 5000/500+5 {
+		t.Fatalf("faults = %d", faults)
+	}
+	if reqs == 0 || resps == 0 {
+		t.Fatal("one-sided stream")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(StreamConfig{Events: 1000, Seed: 9})
+	b := Synthesize(StreamConfig{Events: 1000, Seed: 9})
+	for i := range a {
+		if a[i].API != b[i].API || a[i].Type != b[i].Type {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestRequestsPairWithResponses(t *testing.T) {
+	events := Synthesize(StreamConfig{Events: 2000, Concurrency: 20, Seed: 3})
+	open := map[uint64]bool{}
+	openMsg := map[string]bool{}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Type {
+		case trace.RESTRequest:
+			open[ev.ConnID] = true
+		case trace.RESTResponse:
+			if !open[ev.ConnID] {
+				t.Fatalf("response without request: %+v", ev)
+			}
+			delete(open, ev.ConnID)
+		case trace.RPCCall:
+			openMsg[ev.MsgID] = true
+		case trace.RPCReply:
+			if !openMsg[ev.MsgID] {
+				t.Fatalf("reply without call: %+v", ev)
+			}
+			delete(openMsg, ev.MsgID)
+		}
+	}
+}
+
+func TestDriveAnalyzer(t *testing.T) {
+	lib := scenario.CoreLibrary()
+	a := core.New(lib, core.Config{Alpha: 256})
+	events := Synthesize(StreamConfig{Events: 20000, Concurrency: 50, FaultEvery: 1000, Seed: 5})
+	res := Drive(a, events)
+	if res.Events != 20000 || res.Bytes == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Reports == 0 {
+		t.Fatal("no fault reports from replay")
+	}
+	if res.EventsPerSec <= 0 || res.Mbps <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.MaxReportDelay <= 0 {
+		t.Fatal("report delay not measured")
+	}
+}
+
+func TestDriveHanselBaseline(t *testing.T) {
+	s := hansel.New(hansel.Config{})
+	events := Synthesize(StreamConfig{Events: 20000, Concurrency: 50, FaultEvery: 1000, Seed: 5})
+	res := DriveHansel(s, events)
+	if res.Reports == 0 {
+		t.Fatal("HANSEL reported nothing")
+	}
+	// HANSEL's report latency is dominated by the 30 s bucket window.
+	if res.MaxReportDelay < 29e9 {
+		t.Fatalf("HANSEL report delay = %v, want ~30s", res.MaxReportDelay)
+	}
+}
+
+func TestFaultFrequencyAffectsWork(t *testing.T) {
+	lib := scenario.CoreLibrary()
+	mk := func(every int) uint64 {
+		a := core.New(lib, core.Config{Alpha: 256})
+		Drive(a, Synthesize(StreamConfig{Events: 30000, Concurrency: 50, FaultEvery: every, Seed: 7}))
+		return a.Stats.Snapshots
+	}
+	frequent := mk(100)
+	rare := mk(2000)
+	if frequent <= rare {
+		t.Fatalf("snapshots: 1/100 = %d, 1/2000 = %d; frequent faults must do more work", frequent, rare)
+	}
+}

@@ -1,0 +1,275 @@
+// Package rest implements a hand-rolled HTTP/1.1 wire codec for the
+// inter-service REST traffic in the OpenStack simulation.
+//
+// OpenStack mandates that all inter-service communication happens via REST
+// (§2 "Communication"). The simulator serializes every REST exchange to
+// real HTTP/1.1 bytes so GRETEL's monitoring agents exercise the same
+// parsing path the paper's Bro agents did: reconstruct the request line or
+// status line and headers from raw bytes, without touching JSON bodies.
+//
+// The codec intentionally supports the subset OpenStack clients use:
+// Content-Length framed bodies (no chunked transfer encoding), token
+// headers, and the standard status-reason table.
+package rest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Error values returned by the parsers.
+var (
+	ErrShortMessage = errors.New("rest: message truncated")
+	ErrBadStartLine = errors.New("rest: malformed start line")
+	ErrBadHeader    = errors.New("rest: malformed header")
+	ErrBadLength    = errors.New("rest: bad Content-Length")
+)
+
+const crlf = "\r\n"
+
+// Header is an ordered list of key/value pairs. Order is preserved because
+// the wire encoding must be byte-stable for deterministic replay.
+type Header struct {
+	pairs [][2]string
+}
+
+// Set appends or replaces the first header with the given (case-insensitive)
+// key.
+func (h *Header) Set(key, value string) {
+	for i := range h.pairs {
+		if strings.EqualFold(h.pairs[i][0], key) {
+			h.pairs[i][1] = value
+			return
+		}
+	}
+	h.pairs = append(h.pairs, [2]string{key, value})
+}
+
+// Get returns the first value for the (case-insensitive) key, or "".
+func (h *Header) Get(key string) string {
+	for i := range h.pairs {
+		if strings.EqualFold(h.pairs[i][0], key) {
+			return h.pairs[i][1]
+		}
+	}
+	return ""
+}
+
+// Len reports the number of header fields.
+func (h *Header) Len() int { return len(h.pairs) }
+
+// Pairs returns the headers in wire order. The slice aliases internal
+// state; callers must not mutate it.
+func (h *Header) Pairs() [][2]string { return h.pairs }
+
+func (h *Header) write(b *bytes.Buffer) {
+	for _, p := range h.pairs {
+		b.WriteString(p[0])
+		b.WriteString(": ")
+		b.WriteString(p[1])
+		b.WriteString(crlf)
+	}
+}
+
+// Request is an HTTP/1.1 request message.
+type Request struct {
+	Method string
+	// Path is the concrete request URI (with real identifiers), as sent
+	// on the wire. Normalization to an API template happens in the agent.
+	Path   string
+	Header Header
+	Body   []byte
+}
+
+// Response is an HTTP/1.1 response message.
+type Response struct {
+	Status int
+	Reason string
+	Header Header
+	Body   []byte
+}
+
+// reasonPhrases covers the status codes the simulation produces. Unknown
+// codes render a generic phrase; parsing accepts any phrase.
+var reasonPhrases = map[int]string{
+	200: "OK",
+	201: "Created",
+	202: "Accepted",
+	204: "No Content",
+	300: "Multiple Choices",
+	400: "Bad Request",
+	401: "Unauthorized",
+	403: "Forbidden",
+	404: "Not Found",
+	409: "Conflict",
+	413: "Request Entity Too Large",
+	429: "Too Many Requests",
+	500: "Internal Server Error",
+	503: "Service Unavailable",
+	504: "Gateway Timeout",
+}
+
+// ReasonPhrase returns the standard reason phrase for an HTTP status code.
+func ReasonPhrase(status int) string {
+	if r, ok := reasonPhrases[status]; ok {
+		return r
+	}
+	return "Unknown"
+}
+
+// MarshalRequest encodes the request to HTTP/1.1 wire bytes. A
+// Content-Length header is always emitted so the receiver can frame the
+// body without connection teardown.
+func MarshalRequest(r *Request) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1%s", r.Method, r.Path, crlf)
+	r.Header.write(&b)
+	fmt.Fprintf(&b, "Content-Length: %d%s%s", len(r.Body), crlf, crlf)
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// MarshalResponse encodes the response to HTTP/1.1 wire bytes. If Reason is
+// empty the standard phrase for the status is used.
+func MarshalResponse(r *Response) []byte {
+	reason := r.Reason
+	if reason == "" {
+		reason = ReasonPhrase(r.Status)
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s%s", r.Status, reason, crlf)
+	r.Header.write(&b)
+	fmt.Fprintf(&b, "Content-Length: %d%s%s", len(r.Body), crlf, crlf)
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// splitMessage splits raw bytes into start line, header block and body,
+// honoring Content-Length. It returns the number of bytes consumed so a
+// stream parser can handle back-to-back messages on one connection.
+func splitMessage(raw []byte) (start string, hdr Header, body []byte, consumed int, err error) {
+	headEnd := bytes.Index(raw, []byte(crlf+crlf))
+	if headEnd < 0 {
+		return "", Header{}, nil, 0, ErrShortMessage
+	}
+	head := string(raw[:headEnd])
+	lines := strings.Split(head, crlf)
+	if len(lines) == 0 || lines[0] == "" {
+		return "", Header{}, nil, 0, ErrBadStartLine
+	}
+	start = lines[0]
+	contentLen := 0
+	for _, ln := range lines[1:] {
+		k, v, ok := strings.Cut(ln, ":")
+		if !ok {
+			return "", Header{}, nil, 0, fmt.Errorf("%w: %q", ErrBadHeader, ln)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		hdr.pairs = append(hdr.pairs, [2]string{k, v})
+		if strings.EqualFold(k, "Content-Length") {
+			contentLen, err = strconv.Atoi(v)
+			if err != nil || contentLen < 0 {
+				return "", Header{}, nil, 0, ErrBadLength
+			}
+		}
+	}
+	bodyStart := headEnd + 4
+	if len(raw) < bodyStart+contentLen {
+		return "", Header{}, nil, 0, ErrShortMessage
+	}
+	body = raw[bodyStart : bodyStart+contentLen]
+	return start, hdr, body, bodyStart + contentLen, nil
+}
+
+// ParseRequest decodes one HTTP/1.1 request from raw and reports the bytes
+// consumed (trailing bytes may belong to the next pipelined message).
+func ParseRequest(raw []byte) (*Request, int, error) {
+	start, hdr, body, n, err := splitMessage(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	parts := strings.SplitN(start, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: %q", ErrBadStartLine, start)
+	}
+	return &Request{Method: parts[0], Path: parts[1], Header: hdr, Body: body}, n, nil
+}
+
+// ParseResponse decodes one HTTP/1.1 response from raw and reports the
+// bytes consumed.
+func ParseResponse(raw []byte) (*Response, int, error) {
+	start, hdr, body, n, err := splitMessage(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	parts := strings.SplitN(start, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: %q", ErrBadStartLine, start)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: status %q", ErrBadStartLine, parts[1])
+	}
+	reason := ""
+	if len(parts) == 3 {
+		reason = parts[2]
+	}
+	return &Response{Status: status, Reason: reason, Header: hdr, Body: body}, n, nil
+}
+
+// IsResponse reports whether raw starts like an HTTP response (rather than
+// a request), without fully parsing it. Agents use this to classify tapped
+// bytes cheaply.
+func IsResponse(raw []byte) bool {
+	return bytes.HasPrefix(raw, []byte("HTTP/"))
+}
+
+// NormalizePath rewrites a concrete request path into its API template by
+// replacing path segments that look like identifiers (UUIDs, long hex or
+// numeric ids) with "{id}". This is how agents collapse concrete URIs onto
+// the finite API set without payload inspection.
+func NormalizePath(path string) string {
+	path, _, _ = strings.Cut(path, "?")
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if looksLikeID(s) {
+			segs[i] = "{id}"
+		}
+	}
+	return strings.Join(segs, "/")
+}
+
+// looksLikeID reports whether a path segment is a concrete identifier:
+// a UUID-shaped token, a hex string of 8+ chars, or a decimal number.
+func looksLikeID(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	// Decimal identifiers.
+	allDigit := true
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			allDigit = false
+			break
+		}
+	}
+	if allDigit {
+		return true
+	}
+	// UUID-ish: hex and dashes, at least 8 hex chars, no letters beyond f.
+	hexCount := 0
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+			hexCount++
+		case c == '-':
+		default:
+			return false
+		}
+	}
+	return hexCount >= 8
+}

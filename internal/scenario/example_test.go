@@ -1,0 +1,44 @@
+package scenario_test
+
+import (
+	"fmt"
+	"time"
+
+	"gretel/internal/faults"
+	"gretel/internal/openstack"
+	"gretel/internal/scenario"
+	"gretel/internal/trace"
+)
+
+// Assemble the full GRETEL stack, inject the §7.2.1 disk-exhaustion
+// fault, and read the report: operation localization plus root cause.
+func Example() {
+	h := scenario.New(scenario.Options{Seed: 101, WithRCA: true, PollPeriod: time.Second})
+
+	faults.ExhaustDisk(h.D.Fabric.NodeFor(trace.SvcGlance), 0.8)
+
+	// Ambient traffic sharpens matching: vm-snapshot also contains the
+	// failing API, and its other state changes showing up out of order in
+	// the window rule it out.
+	for _, op := range openstack.CoreOperations()[:4] {
+		h.D.Start(op, nil)
+	}
+	inst := h.D.Start(openstack.OpImageUpload(), nil)
+	h.Plan.FailInstanceAt(inst.ID,
+		trace.RESTAPI(trace.SvcGlance, "PUT", "/v2/images/{id}/file"),
+		413, "Request Entity Too Large")
+	h.Run(30 * time.Minute)
+	h.Finish()
+
+	for _, rep := range h.Reports() {
+		fmt.Printf("%s fault on %v\n", rep.Kind, rep.OffendingAPI)
+		fmt.Printf("operation: %v\n", rep.Candidates)
+		for _, rc := range rep.RootCauses {
+			fmt.Printf("root cause: %s\n", rc)
+		}
+	}
+	// Output:
+	// operational fault on glance REST PUT /v2/images/{id}/file
+	// operation: [image-upload]
+	// root cause: glance-node: low free disk space (0.8 GB) (resource)
+}

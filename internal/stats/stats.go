@@ -1,0 +1,122 @@
+// Package stats provides streaming summaries (count/mean/min/max plus
+// reservoir-sampled quantiles) for per-API latency reporting. The
+// analyzer keeps one summary per API so operators get p50/p95/p99
+// alongside the anomaly detectors — collectd-style observability over
+// GRETEL's own measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// reservoirSize bounds memory per summary; 1024 samples give quantile
+// estimates well within a few percent for the smooth latency
+// distributions involved.
+const reservoirSize = 1024
+
+// Summary is a streaming summary of one series. Not safe for concurrent
+// use (the analyzer is single-threaded).
+type Summary struct {
+	count    uint64
+	sum      float64
+	min, max float64
+
+	// Deterministic reservoir sampling (xorshift state seeded from the
+	// first values) keeps a uniform sample without math/rand.
+	reservoir []float64
+	rngState  uint64
+	sorted    bool
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{min: math.Inf(1), max: math.Inf(-1), rngState: 0x9e3779b97f4a7c15}
+}
+
+func (s *Summary) rand() uint64 {
+	s.rngState ^= s.rngState << 13
+	s.rngState ^= s.rngState >> 7
+	s.rngState ^= s.rngState << 17
+	return s.rngState
+}
+
+// Observe adds one value.
+func (s *Summary) Observe(v float64) {
+	s.count++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.sorted = false
+	if len(s.reservoir) < reservoirSize {
+		s.reservoir = append(s.reservoir, v)
+		return
+	}
+	// Vitter's Algorithm R: replace a random slot with probability
+	// reservoirSize/count.
+	if idx := s.rand() % s.count; idx < reservoirSize {
+		s.reservoir[idx] = v
+	}
+}
+
+// Count reports the number of observations.
+func (s *Summary) Count() uint64 { return s.count }
+
+// Mean returns the running mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the minimum observation (0 when empty).
+func (s *Summary) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the maximum observation (0 when empty).
+func (s *Summary) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the reservoir.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.reservoir) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.reservoir)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.reservoir[0]
+	}
+	if q >= 1 {
+		return s.reservoir[len(s.reservoir)-1]
+	}
+	pos := q * float64(len(s.reservoir)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.reservoir) {
+		return s.reservoir[lo]
+	}
+	return s.reservoir[lo]*(1-frac) + s.reservoir[lo+1]*frac
+}
+
+// String renders count/mean/p50/p95/p99/max.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		s.count, s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99), s.Max())
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySummary(t *testing.T) {
+	s := NewSummary()
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty summary not zeroed: %s", s)
+	}
+}
+
+func TestBasicMoments(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("moments wrong: %s", s)
+	}
+}
+
+func TestExactQuantilesSmallN(t *testing.T) {
+	s := NewSummary()
+	for i := 100; i >= 1; i-- { // reversed insertion order
+		s.Observe(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-50.5) > 1 {
+		t.Fatalf("median = %v, want ~50.5", got)
+	}
+	if got := s.Quantile(0.95); math.Abs(got-95) > 2 {
+		t.Fatalf("p95 = %v", got)
+	}
+}
+
+func TestReservoirQuantilesLargeN(t *testing.T) {
+	s := NewSummary()
+	rng := rand.New(rand.NewSource(1))
+	// 100k uniform [0, 1000): quantiles should land near q*1000.
+	for i := 0; i < 100000; i++ {
+		s.Observe(rng.Float64() * 1000)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		want := q * 1000
+		if math.Abs(got-want) > 60 { // reservoir of 1024: a few % error
+			t.Fatalf("q%.2f = %.1f, want ~%.1f", q, got, want)
+		}
+	}
+	if s.Count() != 100000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() float64 {
+		s := NewSummary()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 50000; i++ {
+			s.Observe(rng.NormFloat64())
+		}
+		return s.Quantile(0.9)
+	}
+	if mk() != mk() {
+		t.Fatal("summaries are not deterministic")
+	}
+}
+
+func TestInterleavedObserveAndQuantile(t *testing.T) {
+	// Quantile sorts the reservoir; later Observes must still work.
+	s := NewSummary()
+	for i := 0; i < 10; i++ {
+		s.Observe(float64(i))
+	}
+	_ = s.Quantile(0.5)
+	s.Observe(100)
+	if s.Max() != 100 || s.Quantile(1) != 100 {
+		t.Fatalf("post-quantile observe lost: %s", s)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(values []float64) bool {
+		if len(values) == 0 {
+			return true
+		}
+		s := NewSummary()
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Observe(v)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			cur := s.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			if cur < s.Min() || cur > s.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package symbol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+
+	"gretel/internal/trace"
+)
+
+func api(i int) trace.API {
+	return trace.RESTAPI(trace.SvcNova, "GET", fmt.Sprintf("/v2.1/x/%d", i))
+}
+
+func TestAssignStable(t *testing.T) {
+	tb := NewTable()
+	a := trace.RESTAPI(trace.SvcNova, "POST", "/v2.1/servers")
+	r1 := tb.Assign(a)
+	r2 := tb.Assign(a)
+	if r1 != r2 {
+		t.Fatalf("re-assignment changed rune: %q then %q", r1, r2)
+	}
+	if r1 != Base {
+		t.Fatalf("first rune = %#U, want %#U", r1, Base)
+	}
+}
+
+func TestAssignDistinct(t *testing.T) {
+	tb := NewTable()
+	seen := map[rune]bool{}
+	for i := 0; i < 643; i++ { // the paper's API count
+		r := tb.Assign(api(i))
+		if seen[r] {
+			t.Fatalf("rune %#U assigned twice", r)
+		}
+		seen[r] = true
+		if r < Base || r >= Max {
+			t.Fatalf("rune %#U outside private-use area", r)
+		}
+	}
+	if tb.Len() != 643 {
+		t.Fatalf("Len() = %d, want 643", tb.Len())
+	}
+}
+
+func TestLookupAndAPI(t *testing.T) {
+	tb := NewTable()
+	a := trace.RPCAPI(trace.SvcNovaCompute, "build_and_run_instance")
+	if _, ok := tb.Lookup(a); ok {
+		t.Fatal("Lookup found unassigned API")
+	}
+	r := tb.Assign(a)
+	if got, ok := tb.Lookup(a); !ok || got != r {
+		t.Fatalf("Lookup = %#U,%v", got, ok)
+	}
+	back, ok := tb.API(r)
+	if !ok || back != a {
+		t.Fatalf("API(%#U) = %+v,%v", r, back, ok)
+	}
+	if _, ok := tb.API(r + 1); ok {
+		t.Fatal("API found unassigned rune")
+	}
+}
+
+func TestStateChangingThroughTable(t *testing.T) {
+	tb := NewTable()
+	get := tb.Assign(trace.RESTAPI(trace.SvcNeutron, "GET", "/v2.0/ports"))
+	post := tb.Assign(trace.RESTAPI(trace.SvcNeutron, "POST", "/v2.0/ports"))
+	rpc := tb.Assign(trace.RPCAPI(trace.SvcNeutronAgent, "port_update"))
+	if tb.StateChanging(get) {
+		t.Error("GET flagged state-changing")
+	}
+	if !tb.StateChanging(post) || !tb.StateChanging(rpc) {
+		t.Error("POST/RPC not flagged state-changing")
+	}
+	if tb.StateChanging(Max - 1) {
+		t.Error("unassigned rune flagged state-changing")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tb := NewTable()
+	apis := []trace.API{
+		trace.RESTAPI(trace.SvcNova, "POST", "/v2.1/servers"),
+		trace.RESTAPI(trace.SvcGlance, "GET", "/v2/images/{id}"),
+		trace.RPCAPI(trace.SvcNovaCompute, "build_and_run_instance"),
+		trace.RESTAPI(trace.SvcNova, "POST", "/v2.1/servers"), // repeat
+	}
+	s := tb.EncodeAPIs(apis)
+	if utf8.RuneCountInString(s) != len(apis) {
+		t.Fatalf("encoded %d runes, want %d", utf8.RuneCountInString(s), len(apis))
+	}
+	if !utf8.ValidString(s) {
+		t.Fatal("encoded string is invalid UTF-8")
+	}
+	back, err := tb.Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range apis {
+		if back[i] != apis[i] {
+			t.Fatalf("round trip mismatch at %d: %v != %v", i, back[i], apis[i])
+		}
+	}
+}
+
+func TestEncodeEvents(t *testing.T) {
+	tb := NewTable()
+	evs := []trace.Event{
+		{API: trace.RESTAPI(trace.SvcNova, "GET", "/a")},
+		{API: trace.RESTAPI(trace.SvcNova, "GET", "/b")},
+		{API: trace.RESTAPI(trace.SvcNova, "GET", "/a")},
+	}
+	s := tb.Encode(evs)
+	runes := []rune(s)
+	if len(runes) != 3 || runes[0] != runes[2] || runes[0] == runes[1] {
+		t.Fatalf("Encode produced %q", s)
+	}
+}
+
+func TestDecodeUnassigned(t *testing.T) {
+	tb := NewTable()
+	if _, err := tb.Decode(string(Base)); err == nil {
+		t.Fatal("Decode of unassigned rune succeeded")
+	}
+}
+
+func TestAPIsOrdered(t *testing.T) {
+	tb := NewTable()
+	var want []trace.API
+	for i := 0; i < 20; i++ {
+		a := api(i)
+		tb.Assign(a)
+		want = append(want, a)
+	}
+	got := tb.APIs()
+	if len(got) != len(want) {
+		t.Fatalf("APIs() returned %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("APIs()[%d] = %v, want %v (assignment order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentAssign(t *testing.T) {
+	tb := NewTable()
+	var wg sync.WaitGroup
+	const workers = 8
+	runes := make([][]rune, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				runes[w] = append(runes[w], tb.Assign(api(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Len() != 100 {
+		t.Fatalf("Len() = %d, want 100 (concurrent Assign must dedupe)", tb.Len())
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < 100; i++ {
+			if runes[w][i] != runes[0][i] {
+				t.Fatalf("worker %d saw different rune for api %d", w, i)
+			}
+		}
+	}
+}
+
+// Property: for any set of distinct APIs, encode/decode round-trips and
+// every rune stays within the private-use area.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(paths []string) bool {
+		tb := NewTable()
+		apis := make([]trace.API, len(paths))
+		for i, p := range paths {
+			apis[i] = trace.RESTAPI(trace.SvcNova, "GET", p)
+		}
+		s := tb.EncodeAPIs(apis)
+		for _, r := range s {
+			if r < Base || r >= Max {
+				return false
+			}
+		}
+		back, err := tb.Decode(s)
+		if err != nil || len(back) != len(apis) {
+			return false
+		}
+		for i := range apis {
+			if back[i] != apis[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+package tempest
+
+import (
+	"testing"
+
+	"gretel/internal/fingerprint"
+	"gretel/internal/openstack"
+	"gretel/internal/trace"
+)
+
+func TestCatalogSizes(t *testing.T) {
+	c := NewCatalog(1)
+	if len(c.Tests) != 1200 {
+		t.Fatalf("total tests = %d, want 1200", len(c.Tests))
+	}
+	for cat, want := range CategorySizes {
+		if got := len(c.ByCategory[cat]); got != want {
+			t.Errorf("%v tests = %d, want %d", cat, got, want)
+		}
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a, b := NewCatalog(7), NewCatalog(7)
+	for i := range a.Tests {
+		sa, sb := a.Tests[i].Op.Steps, b.Tests[i].Op.Steps
+		if a.Tests[i].Op.Name != b.Tests[i].Op.Name || len(sa) != len(sb) {
+			t.Fatalf("test %d differs across builds", i)
+		}
+		for j := range sa {
+			if sa[j].API != sb[j].API {
+				t.Fatalf("test %d step %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCatalogSeedsDiffer(t *testing.T) {
+	a, b := NewCatalog(1), NewCatalog(2)
+	same := 0
+	for i := range a.Tests {
+		if len(a.Tests[i].Op.Steps) == len(b.Tests[i].Op.Steps) {
+			same++
+		}
+	}
+	if same == len(a.Tests) {
+		t.Fatal("different seeds produced identical catalogs")
+	}
+}
+
+func TestTestNamesUnique(t *testing.T) {
+	c := NewCatalog(3)
+	seen := map[string]bool{}
+	for _, test := range c.Tests {
+		if seen[test.Op.Name] {
+			t.Fatalf("duplicate test name %q", test.Op.Name)
+		}
+		seen[test.Op.Name] = true
+	}
+}
+
+func TestFingerprintLengthDistribution(t *testing.T) {
+	c := NewCatalog(5)
+	maxLen := 0
+	for cat, tl := range targetLens {
+		sum := 0
+		for _, test := range c.ByCategory[cat] {
+			l := test.Op.FingerprintLen(true)
+			sum += l
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		avg := float64(sum) / float64(len(c.ByCategory[cat]))
+		lo, hi := float64(tl.mean)*0.7, float64(tl.mean)*1.4
+		if avg < lo || avg > hi {
+			t.Errorf("%v avg fingerprint len = %.1f, want within [%.0f, %.0f] of Table 1's %d",
+				cat, avg, lo, hi, tl.mean)
+		}
+	}
+	if maxLen != FPMax {
+		t.Errorf("max fingerprint len = %d, want FPmax=%d", maxLen, FPMax)
+	}
+}
+
+func TestTestsAreDistinguishable(t *testing.T) {
+	// Tests sharing a template must differ in their non-noise API
+	// sequences; sample within Compute.
+	c := NewCatalog(9)
+	tests := c.ByCategory[openstack.Compute]
+	a, b := tests[3].Op.APIs(), tests[6].Op.APIs() // same template (3 templates)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("two catalog tests have identical fingerprints")
+		}
+	}
+}
+
+func TestVariationDrawsFromCategoryPool(t *testing.T) {
+	c := NewCatalog(11)
+	pool := c.Pools[openstack.Image]
+	inPool := map[trace.API]bool{}
+	for _, a := range pool.REST {
+		inPool[a] = true
+	}
+	for _, a := range pool.RPC {
+		inPool[a] = true
+	}
+	// Image templates use only Glance + auth; catalog variation should
+	// stay within the Image pool (no cross APIs configured for Image).
+	for _, test := range c.ByCategory[openstack.Image] {
+		for _, s := range test.Op.Steps {
+			if s.Noise {
+				continue
+			}
+			if !inPool[s.API] && s.API.Service != trace.SvcGlance {
+				t.Fatalf("image test %s uses out-of-pool API %v", test.Op.Name, s.API)
+			}
+		}
+	}
+}
+
+func TestPoolCoverage(t *testing.T) {
+	// Round-robin coverage: the vast majority of each pool should be
+	// touched by at least one test (Table 1 counts unique APIs).
+	c := NewCatalog(13)
+	for _, cat := range openstack.Categories() {
+		used := map[trace.API]bool{}
+		for _, test := range c.ByCategory[cat] {
+			for _, a := range test.Op.APIs() {
+				used[a] = true
+			}
+		}
+		pool := c.Pools[cat]
+		total, covered := 0, 0
+		for _, a := range append(append([]trace.API{}, pool.REST...), pool.RPC...) {
+			total++
+			if used[a] {
+				covered++
+			}
+		}
+		if float64(covered) < 0.9*float64(total) {
+			t.Errorf("%v pool coverage %d/%d < 90%%", cat, covered, total)
+		}
+	}
+}
+
+func TestRunIsolatedProducesTrace(t *testing.T) {
+	c := NewCatalog(17)
+	test := c.ByCategory[openstack.Storage][0]
+	var stats RunStats
+	apis := RunIsolated(test, 99, &stats)
+	if apis == nil {
+		t.Fatal("isolated run failed")
+	}
+	if stats.RESTEvents == 0 || stats.RPCEvents == 0 {
+		t.Fatalf("stats empty: %+v", stats)
+	}
+	// The captured request APIs must contain the operation's fingerprint
+	// as a subsequence (noise and repeats may be interspersed).
+	want := test.Op.APIs()
+	i := 0
+	for _, a := range apis {
+		if i < len(want) && a == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("trace missing fingerprint APIs: matched %d of %d", i, len(want))
+	}
+}
+
+func TestLearnLibrarySmall(t *testing.T) {
+	// Learn fingerprints for a small slice of the catalog and verify the
+	// learned sequences equal the ground-truth (noise pruned, transients
+	// removed by LCS).
+	c := NewCatalog(19)
+	small := &Catalog{
+		ByCategory: map[openstack.Category][]*Test{},
+		Pools:      c.Pools,
+	}
+	for _, cat := range openstack.Categories() {
+		tests := c.ByCategory[cat][:2]
+		small.Tests = append(small.Tests, tests...)
+		small.ByCategory[cat] = tests
+	}
+	lib, stats := LearnLibrary(small, 3, 23)
+	if lib.Len() != len(small.Tests) {
+		t.Fatalf("library has %d fingerprints, want %d", lib.Len(), len(small.Tests))
+	}
+	for _, test := range small.Tests {
+		fp := lib.ByName(test.Op.Name)
+		if fp == nil {
+			t.Fatalf("no fingerprint for %s", test.Op.Name)
+		}
+		want := test.Op.APIs()
+		if len(fp.APIs) != len(want) {
+			t.Fatalf("%s learned %d APIs, want %d\nlearned: %v\nwant:    %v",
+				test.Op.Name, len(fp.APIs), len(want), fp.APIs, want)
+		}
+		for i := range want {
+			if fp.APIs[i] != want[i] {
+				t.Fatalf("%s fingerprint[%d] = %v, want %v", test.Op.Name, i, fp.APIs[i], want[i])
+			}
+		}
+	}
+	for cat, st := range stats {
+		if len(small.ByCategory[cat]) > 0 && (st.RESTEvents == 0 || st.RPCEvents == 0) {
+			t.Errorf("%v stats empty: %+v", cat, st)
+		}
+	}
+}
+
+func TestLearnedFingerprintsMostlyUniqueAcrossCategories(t *testing.T) {
+	// Fig 5 precondition: fingerprints are substantially unique across
+	// categories. Check on ground-truth sequences (cheaper than learning).
+	c := NewCatalog(29)
+	lib := fingerprint.NewLibrary()
+	for _, cat := range openstack.Categories() {
+		for _, test := range c.ByCategory[cat][:20] {
+			lib.AddAPIs(test.Op.Name, cat.String(), test.Op.APIs())
+		}
+	}
+	all := lib.All()
+	lowOverlap := 0
+	computeCount := 0
+	for _, f := range all {
+		if f.Category != "Compute" {
+			continue
+		}
+		computeCount++
+		maxOv := 0.0
+		for _, g := range all {
+			if g.Category == "Compute" {
+				continue
+			}
+			if ov := fingerprint.Overlap(f, g); ov > maxOv {
+				maxOv = ov
+			}
+		}
+		if maxOv < 0.15 {
+			lowOverlap++
+		}
+	}
+	if computeCount == 0 {
+		t.Fatal("no compute fingerprints")
+	}
+	frac := float64(lowOverlap) / float64(computeCount)
+	if frac < 0.7 {
+		t.Errorf("only %.0f%% of compute fingerprints have <15%% cross-category overlap (paper: ~90%%)", frac*100)
+	}
+}
+
+// TestLearnLibraryFullCatalog is the strongest learning statement: over
+// the entire 1200-test catalog, Algorithm 1 (noise filter + LCS over two
+// isolated runs) recovers exactly each operation's ground-truth API
+// sequence.
+func TestLearnLibraryFullCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog learning (~4s)")
+	}
+	c := NewCatalog(47)
+	lib, _ := LearnLibrary(c, 2, 53)
+	if lib.Len() != len(c.Tests) {
+		t.Fatalf("library %d vs catalog %d", lib.Len(), len(c.Tests))
+	}
+	mismatches := 0
+	for _, test := range c.Tests {
+		fp := lib.ByName(test.Op.Name)
+		want := test.Op.APIs()
+		if fp == nil || len(fp.APIs) != len(want) {
+			mismatches++
+			continue
+		}
+		for i := range want {
+			if fp.APIs[i] != want[i] {
+				mismatches++
+				break
+			}
+		}
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d of %d fingerprints differ from ground truth", mismatches, len(c.Tests))
+	}
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestServiceStrings(t *testing.T) {
+	cases := map[Service]string{
+		SvcHorizon:      "horizon",
+		SvcKeystone:     "keystone",
+		SvcNova:         "nova",
+		SvcNovaCompute:  "nova-compute",
+		SvcNeutron:      "neutron",
+		SvcNeutronAgent: "neutron-agent",
+		SvcGlance:       "glance",
+		SvcCinder:       "cinder",
+		SvcSwift:        "swift",
+		SvcRabbitMQ:     "rabbitmq",
+		SvcMySQL:        "mysql",
+		SvcUnknown:      "unknown",
+	}
+	for svc, want := range cases {
+		if got := svc.String(); got != want {
+			t.Errorf("Service(%d).String() = %q, want %q", svc, got, want)
+		}
+	}
+	if got := Service(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range service string = %q", got)
+	}
+}
+
+func TestServicesListsAll(t *testing.T) {
+	svcs := Services()
+	if len(svcs) != int(numServices)-1 {
+		t.Fatalf("Services() returned %d entries, want %d", len(svcs), numServices-1)
+	}
+	seen := map[Service]bool{}
+	for _, s := range svcs {
+		if s == SvcUnknown {
+			t.Error("Services() includes SvcUnknown")
+		}
+		if seen[s] {
+			t.Errorf("Services() duplicates %v", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if REST.String() != "REST" || RPC.String() != "RPC" {
+		t.Errorf("kind strings wrong: %q %q", REST, RPC)
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Errorf("unknown kind string = %q", Kind(9))
+	}
+}
+
+func TestAPIConstructors(t *testing.T) {
+	r := RESTAPI(SvcNova, "POST", "/v2.1/servers")
+	if r.Kind != REST || r.Service != SvcNova || r.Method != "POST" || r.Path != "/v2.1/servers" {
+		t.Fatalf("RESTAPI built %+v", r)
+	}
+	p := RPCAPI(SvcNovaCompute, "build_and_run_instance")
+	if p.Kind != RPC || p.Path != "" {
+		t.Fatalf("RPCAPI built %+v", p)
+	}
+	if (API{}).Zero() != true || r.Zero() {
+		t.Error("Zero() misreports")
+	}
+}
+
+func TestStateChanging(t *testing.T) {
+	cases := []struct {
+		api  API
+		want bool
+	}{
+		{RESTAPI(SvcNova, "GET", "/v2.1/servers"), false},
+		{RESTAPI(SvcNova, "HEAD", "/v2.1/servers"), false},
+		{RESTAPI(SvcNova, "POST", "/v2.1/servers"), true},
+		{RESTAPI(SvcNeutron, "PUT", "/v2.0/ports/{id}"), true},
+		{RESTAPI(SvcNeutron, "DELETE", "/v2.0/ports/{id}"), true},
+		{RESTAPI(SvcGlance, "PATCH", "/v2/images/{id}"), true},
+		{RPCAPI(SvcNovaCompute, "report_state"), true},
+	}
+	for _, c := range cases {
+		if got := c.api.StateChanging(); got != c.want {
+			t.Errorf("%v StateChanging() = %v, want %v", c.api, got, c.want)
+		}
+	}
+}
+
+func TestAPIString(t *testing.T) {
+	r := RESTAPI(SvcNova, "POST", "/v2.1/servers")
+	if got := r.String(); got != "nova REST POST /v2.1/servers" {
+		t.Errorf("REST api string = %q", got)
+	}
+	p := RPCAPI(SvcNovaCompute, "build_and_run_instance")
+	if got := p.String(); got != "nova-compute RPC build_and_run_instance" {
+		t.Errorf("RPC api string = %q", got)
+	}
+}
+
+func TestAPIComparable(t *testing.T) {
+	a := RESTAPI(SvcNova, "GET", "/v2.1/servers/{id}")
+	b := RESTAPI(SvcNova, "GET", "/v2.1/servers/{id}")
+	if a != b {
+		t.Fatal("identical APIs compare unequal")
+	}
+	m := map[API]int{a: 1}
+	if m[b] != 1 {
+		t.Fatal("API not usable as map key")
+	}
+}
+
+func TestEventTypeRequest(t *testing.T) {
+	cases := map[EventType]bool{
+		RESTRequest:  true,
+		RESTResponse: false,
+		RPCCall:      true,
+		RPCReply:     false,
+		RPCCast:      true,
+	}
+	for et, want := range cases {
+		if et.Request() != want {
+			t.Errorf("%v.Request() = %v, want %v", et, et.Request(), want)
+		}
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for _, et := range []EventType{RESTRequest, RESTResponse, RPCCall, RPCReply, RPCCast} {
+		if s := et.String(); strings.HasPrefix(s, "event(") {
+			t.Errorf("missing string for %d", et)
+		}
+	}
+	if !strings.Contains(EventType(99).String(), "99") {
+		t.Error("unknown event type string")
+	}
+}
+
+func TestEventFaulty(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want bool
+	}{
+		{Event{Type: RESTResponse, Status: 200}, false},
+		{Event{Type: RESTResponse, Status: 399}, false},
+		{Event{Type: RESTResponse, Status: 400}, true},
+		{Event{Type: RESTResponse, Status: 413}, true},
+		{Event{Type: RESTResponse, Status: 503}, true},
+		{Event{Type: RESTRequest, Status: 500}, false}, // requests carry no status
+		{Event{Type: RPCReply, Status: 0}, false},
+		{Event{Type: RPCReply, Status: 1}, true},
+		{Event{Type: RPCCall, Status: 1}, false},
+		{Event{Type: RPCCast, Status: 1}, false},
+	}
+	for i, c := range cases {
+		if got := c.ev.Faulty(); got != c.want {
+			t.Errorf("case %d: Faulty() = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Seq: 7, Type: RESTResponse, API: RESTAPI(SvcGlance, "PUT", "/v2/images/{id}/file"),
+		SrcNode: "glance-node", DstNode: "horizon-node", Status: 413, OpName: "image-upload"}
+	s := ev.String()
+	for _, frag := range []string{"#7", "glance", "413", "image-upload"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Event.String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+// Property: StateChanging is a pure function of Kind and Method — never of
+// Service or Path.
+func TestStateChangingIgnoresServiceAndPath(t *testing.T) {
+	f := func(svcRaw uint8, pathRaw string) bool {
+		svc := Service(svcRaw % uint8(numServices))
+		get := RESTAPI(svc, "GET", pathRaw)
+		post := RESTAPI(svc, "POST", pathRaw)
+		rpc := RPCAPI(svc, pathRaw)
+		return !get.StateChanging() && post.StateChanging() && rpc.StateChanging()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

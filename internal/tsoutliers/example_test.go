@@ -1,0 +1,37 @@
+package tsoutliers_test
+
+import (
+	"fmt"
+	"time"
+
+	"gretel/internal/tsoutliers"
+)
+
+// Feed a latency stream into the level-shift detector: a sustained jump
+// raises outlier alarms until the shift is confirmed, after which the
+// adapted baseline stays quiet (the paper's Fig 6 behavior).
+func ExampleDetector() {
+	det := tsoutliers.New(tsoutliers.Options{MinRun: 3, MinSpread: 1})
+	t0 := time.Date(2016, 12, 12, 0, 0, 0, 0, time.UTC)
+
+	series := make([]float64, 0, 40)
+	for i := 0; i < 20; i++ {
+		series = append(series, 35) // steady ~35ms
+	}
+	for i := 0; i < 20; i++ {
+		series = append(series, 114) // CPU surge inflates latency
+	}
+	for i, v := range series {
+		for _, alarm := range det.Observe(t0.Add(time.Duration(i)*time.Second), v) {
+			fmt.Printf("t=%02ds %s (level %.0f -> value %.0f)\n",
+				i, alarm.Kind, alarm.Level, alarm.Value)
+		}
+	}
+	fmt.Printf("adapted level: %.0f\n", det.Level())
+	// Output:
+	// t=20s outlier (level 35 -> value 114)
+	// t=21s outlier (level 35 -> value 114)
+	// t=22s outlier (level 35 -> value 114)
+	// t=22s level-shift (level 114 -> value 114)
+	// adapted level: 114
+}

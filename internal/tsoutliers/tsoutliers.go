@@ -1,0 +1,314 @@
+// Package tsoutliers implements online level-shift (LS) outlier detection
+// over continuous value streams, the analogue of the R tsoutliers
+// package's LS mode the paper used (§6 "Anomaly detection").
+//
+// The LS semantics the paper relies on: flag sudden, sustained shifts in a
+// series (API latency, CPU utilization); adapt the baseline once the shift
+// is confirmed so the detector "does not report many false alarms" and
+// "does not raise alerts even if latency variations are smaller than the
+// initial observed spike" (§7.3).
+//
+// The detector keeps a robust baseline (median level, MAD spread) over the
+// recent inlier history. Each observation yields a residual against the
+// level; residuals beyond K spreads raise outlier alarms, and a run of
+// MinRun same-signed outliers confirms a level shift, moving the level to
+// the run's median. The adjusted series is the observation minus the
+// accumulated shifts — the blue line in the paper's Figs 6 and 8b, with
+// shifts the red line.
+package tsoutliers
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// AlarmKind classifies a raised alarm.
+type AlarmKind uint8
+
+const (
+	// Outlier flags a single observation beyond the threshold (the R
+	// package's AO — additive outlier — when isolated).
+	Outlier AlarmKind = iota + 1
+	// Shift flags a confirmed level shift (LS), raised once per shift.
+	Shift
+	// TempChange flags a temporary change (TC): a confirmed shift that
+	// reverts to the prior level within the TC window — the R package's
+	// third outlier class, and exactly the shape of a bounded fault
+	// injection like Fig 8b's 10-minute latency window.
+	TempChange
+)
+
+// String implements fmt.Stringer.
+func (k AlarmKind) String() string {
+	switch k {
+	case Outlier:
+		return "outlier"
+	case Shift:
+		return "level-shift"
+	case TempChange:
+		return "temporary-change"
+	default:
+		return "unknown"
+	}
+}
+
+// Alarm is one raised anomaly.
+type Alarm struct {
+	Time      time.Time
+	Kind      AlarmKind
+	Value     float64
+	Level     float64 // baseline level at alarm time
+	Threshold float64 // residual threshold in effect
+}
+
+// ShiftRecord documents one confirmed level shift.
+type ShiftRecord struct {
+	Time     time.Time
+	From, To float64
+}
+
+// Options configures a detector. Zero values select defaults.
+type Options struct {
+	// K is the residual threshold in robust spreads (default 4).
+	K float64
+	// MinRun is the count of consecutive same-signed outliers that
+	// confirms a level shift (default 4).
+	MinRun int
+	// Window bounds the inlier residual history used for the spread
+	// estimate (default 60 samples).
+	Window int
+	// Warmup is the number of initial samples used to seed the level
+	// before any alarms are raised (default 8).
+	Warmup int
+	// MinSpread floors the spread estimate so near-constant series do
+	// not alarm on numeric noise (default 1e-9: effectively off; callers
+	// set it to the measurement granularity).
+	MinSpread float64
+	// TCWindow is the sample horizon within which a shift that reverts
+	// to the prior level is classified as a temporary change (default
+	// 2000 samples; 0 keeps the default, negative disables TC).
+	TCWindow int
+	// TCTolerance is the relative tolerance for "reverted to the prior
+	// level" (default 0.25: within 25% of the pre-shift level).
+	TCTolerance float64
+}
+
+func (o *Options) defaults() {
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.MinRun == 0 {
+		o.MinRun = 4
+	}
+	if o.Window == 0 {
+		o.Window = 60
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 8
+	}
+	if o.MinSpread == 0 {
+		o.MinSpread = 1e-9
+	}
+	if o.TCWindow == 0 {
+		o.TCWindow = 2000
+	}
+	if o.TCTolerance == 0 {
+		o.TCTolerance = 0.25
+	}
+}
+
+// Detector is an online level-shift detector for one series. Not safe for
+// concurrent use; callers shard one detector per series.
+type Detector struct {
+	opt Options
+
+	seeded  bool
+	seedBuf []float64
+	level   float64
+	base    float64 // initial level, anchor of the adjusted series
+
+	inliers []float64 // recent inlier values (window-bounded)
+
+	run     []float64 // current consecutive-outlier run values
+	runSign int
+
+	alarms []Alarm
+	shifts []ShiftRecord
+	// lastShiftN records the sample index of the most recent shift, for
+	// temporary-change classification.
+	lastShiftN int
+	tempCount  int
+	n          int
+}
+
+// New returns a detector with the given options.
+func New(opt Options) *Detector {
+	opt.defaults()
+	return &Detector{opt: opt}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// mad computes the scaled median absolute deviation around center.
+func mad(xs []float64, center float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - center)
+	}
+	return 1.4826 * median(dev)
+}
+
+// Observe feeds one sample and returns any alarms it raised.
+func (d *Detector) Observe(t time.Time, v float64) []Alarm {
+	d.n++
+	if !d.seeded {
+		d.seedBuf = append(d.seedBuf, v)
+		if len(d.seedBuf) >= d.opt.Warmup {
+			d.level = median(d.seedBuf)
+			d.base = d.level
+			d.inliers = append(d.inliers, d.seedBuf...)
+			d.seedBuf = nil
+			d.seeded = true
+		}
+		return nil
+	}
+
+	spread := mad(d.inliers, d.level)
+	if spread < d.opt.MinSpread {
+		spread = d.opt.MinSpread
+	}
+	threshold := d.opt.K * spread
+	resid := v - d.level
+
+	if math.Abs(resid) <= threshold {
+		// Inlier: extend baseline, cancel any pending run.
+		d.pushInlier(v)
+		d.run = d.run[:0]
+		d.runSign = 0
+		return nil
+	}
+
+	// Outlier.
+	sign := 1
+	if resid < 0 {
+		sign = -1
+	}
+	if sign != d.runSign {
+		d.run = d.run[:0]
+		d.runSign = sign
+	}
+	d.run = append(d.run, v)
+
+	out := []Alarm{{Time: t, Kind: Outlier, Value: v, Level: d.level, Threshold: threshold}}
+
+	if len(d.run) >= d.opt.MinRun {
+		from := d.level
+		d.level = median(d.run)
+		d.shifts = append(d.shifts, ShiftRecord{Time: t, From: from, To: d.level})
+		out = append(out, Alarm{Time: t, Kind: Shift, Value: v, Level: d.level, Threshold: threshold})
+		// Temporary change: this shift undoes a recent one, landing back
+		// near the level that held before the earlier shift.
+		if d.opt.TCWindow > 0 && len(d.shifts) >= 2 {
+			prev := d.shifts[len(d.shifts)-2]
+			reverted := math.Abs(d.level-prev.From) <= d.opt.TCTolerance*math.Max(math.Abs(prev.From), d.opt.MinSpread)
+			if reverted && d.n-d.lastShiftN <= d.opt.TCWindow {
+				d.tempCount++
+				out = append(out, Alarm{Time: t, Kind: TempChange, Value: v, Level: d.level, Threshold: threshold})
+			}
+		}
+		d.lastShiftN = d.n
+		// Re-seed the baseline at the new level so post-shift variation
+		// is judged against fresh spread.
+		d.inliers = append(d.inliers[:0], d.run...)
+		d.run = d.run[:0]
+		d.runSign = 0
+	}
+
+	d.alarms = append(d.alarms, out...)
+	return out
+}
+
+func (d *Detector) pushInlier(v float64) {
+	d.inliers = append(d.inliers, v)
+	if len(d.inliers) > d.opt.Window {
+		d.inliers = d.inliers[len(d.inliers)-d.opt.Window:]
+	}
+}
+
+// Level returns the current baseline level (0 before warmup completes).
+func (d *Detector) Level() float64 { return d.level }
+
+// Adjusted maps an observation onto the shift-adjusted series (the
+// paper's blue line): the value minus accumulated level movement.
+func (d *Detector) Adjusted(v float64) float64 { return v - (d.level - d.base) }
+
+// Alarms returns all alarms raised so far.
+func (d *Detector) Alarms() []Alarm { return d.alarms }
+
+// AlarmCount reports the number of alarms of the given kind (0 counts all).
+func (d *Detector) AlarmCount(kind AlarmKind) int {
+	if kind == 0 {
+		return len(d.alarms)
+	}
+	n := 0
+	for _, a := range d.alarms {
+		if a.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Shifts returns the confirmed level shifts.
+func (d *Detector) Shifts() []ShiftRecord { return d.shifts }
+
+// TempChanges reports how many temporary-change episodes were classified.
+func (d *Detector) TempChanges() int { return d.tempCount }
+
+// Observations reports how many samples have been fed.
+func (d *Detector) Observations() int { return d.n }
+
+// Bank shards detectors by series key, creating each on first use with
+// shared options. It is the analyzer-side registry: one detector per API
+// latency stream and per node resource stream.
+type Bank struct {
+	opt  Options
+	byID map[string]*Detector
+}
+
+// NewBank returns an empty bank whose detectors use opt.
+func NewBank(opt Options) *Bank {
+	opt.defaults()
+	return &Bank{opt: opt, byID: make(map[string]*Detector)}
+}
+
+// Observe routes a sample to the keyed detector.
+func (b *Bank) Observe(key string, t time.Time, v float64) []Alarm {
+	d, ok := b.byID[key]
+	if !ok {
+		d = New(b.opt)
+		b.byID[key] = d
+	}
+	return d.Observe(t, v)
+}
+
+// Detector returns the keyed detector, or nil.
+func (b *Bank) Detector(key string) *Detector { return b.byID[key] }
+
+// Len reports how many series the bank tracks.
+func (b *Bank) Len() int { return len(b.byID) }

@@ -1,0 +1,170 @@
+// Package window implements GRETEL's sliding-window machinery (§5.3.1 and
+// §6): a dual-buffer ring of the most recent α messages, freeze-on-fault
+// snapshots capturing both the past and the future of a faulty message,
+// and the growing context buffer the operation detector walks outward
+// from the fault.
+//
+// α = 2·max(FPmax, Prate·t): twice the larger of the biggest fingerprint
+// and the message volume of a t-second interval. On a fault, the window
+// slides ahead by α/2 messages and waits for the receiver to deliver the
+// remaining α/2, yielding a snapshot centered on the offending message.
+package window
+
+import (
+	"gretel/internal/trace"
+)
+
+// Alpha computes the sliding-window size from FPmax, the incoming message
+// rate (packets/second) and the time horizon t (seconds). The paper's
+// deployment: FPmax=384, Prate≈150, t=1 ⇒ α=768.
+func Alpha(fpMax int, prate, t float64) int {
+	m := float64(fpMax)
+	if v := prate * t; v > m {
+		m = v
+	}
+	return 2 * int(m)
+}
+
+// Snapshot is a frozen fault-centered message window.
+type Snapshot struct {
+	// Events holds the α messages around the fault, oldest first.
+	Events []trace.Event
+	// FaultIndex locates the offending message within Events.
+	FaultIndex int
+}
+
+// Context returns the events within beta messages centered on the fault
+// (beta/2 on each side), clamped to the snapshot bounds — the context
+// buffer β that sits atop the sliding window.
+func (s *Snapshot) Context(beta int) []trace.Event {
+	if beta <= 0 {
+		return nil
+	}
+	half := beta / 2
+	lo := s.FaultIndex - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi := s.FaultIndex + half + 1
+	if hi > len(s.Events) {
+		hi = len(s.Events)
+	}
+	return s.Events[lo:hi]
+}
+
+// Covered reports whether a context of the given beta already spans the
+// whole snapshot, i.e. growing further cannot add messages.
+func (s *Snapshot) Covered(beta int) bool {
+	half := beta / 2
+	return s.FaultIndex-half <= 0 && s.FaultIndex+half+1 >= len(s.Events)
+}
+
+type pending struct {
+	remaining int
+	onReady   func(*Snapshot)
+}
+
+// Dual is the dual-buffer receive window: a ring of the last α messages
+// plus armed freeze points waiting for their future half to fill. It is
+// not safe for concurrent use; the event receiver drives it from one
+// goroutine (§5.2: TCP delivery preserves order).
+type Dual struct {
+	alpha int
+	ring  []trace.Event
+	// start indexes the oldest element; size is the fill level.
+	start, size int
+	pushed      uint64
+	armed       []*pending
+}
+
+// New returns a window of size alpha (minimum 2).
+func New(alpha int) *Dual {
+	if alpha < 2 {
+		alpha = 2
+	}
+	return &Dual{alpha: alpha, ring: make([]trace.Event, alpha)}
+}
+
+// Alpha returns the configured window size.
+func (w *Dual) Alpha() int { return w.alpha }
+
+// Len reports the current fill level (at most α).
+func (w *Dual) Len() int { return w.size }
+
+// Pushed reports the total number of messages ever pushed.
+func (w *Dual) Pushed() uint64 { return w.pushed }
+
+// Push appends a message, evicting the oldest once full, and fires any
+// armed snapshot whose future half has filled.
+func (w *Dual) Push(ev trace.Event) {
+	if w.size == w.alpha {
+		w.ring[w.start] = ev
+		w.start = (w.start + 1) % w.alpha
+	} else {
+		w.ring[(w.start+w.size)%w.alpha] = ev
+		w.size++
+	}
+	w.pushed++
+
+	if len(w.armed) == 0 {
+		return
+	}
+	kept := w.armed[:0]
+	for _, p := range w.armed {
+		p.remaining--
+		if p.remaining > 0 {
+			kept = append(kept, p)
+			continue
+		}
+		snap := w.snapshotCentered()
+		p.onReady(snap)
+	}
+	w.armed = kept
+}
+
+// contents returns the window oldest-first as a fresh slice.
+func (w *Dual) contents() []trace.Event {
+	out := make([]trace.Event, w.size)
+	for i := 0; i < w.size; i++ {
+		out[i] = w.ring[(w.start+i)%w.alpha]
+	}
+	return out
+}
+
+// snapshotCentered freezes the current window. The fault was the message
+// pushed α/2 messages ago, so it sits at index size-1-α/2 (clamped).
+func (w *Dual) snapshotCentered() *Snapshot {
+	evs := w.contents()
+	idx := w.size - 1 - w.alpha/2
+	if idx < 0 {
+		idx = 0
+	}
+	return &Snapshot{Events: evs, FaultIndex: idx}
+}
+
+// Arm registers a freeze point at the most recently pushed message (the
+// fault). After α/2 further messages arrive, onReady receives a snapshot
+// whose fault index points at the offending message, giving the detector
+// α/2 of past and α/2 of future (§5.3.1). Multiple faults may be armed
+// simultaneously; each gets its own snapshot.
+func (w *Dual) Arm(onReady func(*Snapshot)) {
+	w.armed = append(w.armed, &pending{remaining: w.alpha / 2, onReady: onReady})
+}
+
+// ArmedCount reports how many freeze points are waiting to fill.
+func (w *Dual) ArmedCount() int { return len(w.armed) }
+
+// Flush fires every armed snapshot immediately with whatever the window
+// currently holds — used at end of stream so trailing faults still get a
+// (possibly shorter) snapshot.
+func (w *Dual) Flush() {
+	for _, p := range w.armed {
+		evs := w.contents()
+		idx := w.size - 1 - (w.alpha/2 - p.remaining)
+		if idx < 0 {
+			idx = 0
+		}
+		p.onReady(&Snapshot{Events: evs, FaultIndex: idx})
+	}
+	w.armed = nil
+}

@@ -1,0 +1,211 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gretel/internal/trace"
+)
+
+func ev(seq uint64) trace.Event { return trace.Event{Seq: seq} }
+
+func TestAlpha(t *testing.T) {
+	// The paper's deployment: FPmax=384, Prate=150, t=1 => alpha=768.
+	if got := Alpha(384, 150, 1); got != 768 {
+		t.Fatalf("Alpha = %d, want 768", got)
+	}
+	// High message rate dominates.
+	if got := Alpha(100, 500, 2); got != 2000 {
+		t.Fatalf("Alpha = %d, want 2000", got)
+	}
+}
+
+func TestPushEvictsOldest(t *testing.T) {
+	w := New(4)
+	for i := uint64(1); i <= 6; i++ {
+		w.Push(ev(i))
+	}
+	if w.Len() != 4 || w.Pushed() != 6 {
+		t.Fatalf("len=%d pushed=%d", w.Len(), w.Pushed())
+	}
+	got := w.contents()
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if got[i].Seq != want {
+			t.Fatalf("contents[%d] = %d, want %d", i, got[i].Seq, want)
+		}
+	}
+}
+
+func TestArmSnapshotCentersFault(t *testing.T) {
+	w := New(8)
+	for i := uint64(1); i <= 10; i++ {
+		w.Push(ev(i))
+	}
+	// Message 10 is the fault.
+	var snap *Snapshot
+	w.Arm(func(s *Snapshot) { snap = s })
+	if w.ArmedCount() != 1 {
+		t.Fatal("not armed")
+	}
+	// Needs alpha/2 = 4 more messages.
+	for i := uint64(11); i <= 13; i++ {
+		w.Push(ev(i))
+		if snap != nil {
+			t.Fatalf("snapshot fired early at %d", i)
+		}
+	}
+	w.Push(ev(14))
+	if snap == nil {
+		t.Fatal("snapshot never fired")
+	}
+	if len(snap.Events) != 8 {
+		t.Fatalf("snapshot size = %d, want 8", len(snap.Events))
+	}
+	if got := snap.Events[snap.FaultIndex].Seq; got != 10 {
+		t.Fatalf("fault event seq = %d, want 10", got)
+	}
+	// Past half: 7,8,9; future half: 11..14.
+	if snap.Events[0].Seq != 7 || snap.Events[len(snap.Events)-1].Seq != 14 {
+		t.Fatalf("snapshot range [%d, %d]", snap.Events[0].Seq, snap.Events[len(snap.Events)-1].Seq)
+	}
+	if w.ArmedCount() != 0 {
+		t.Fatal("armed entry not cleared")
+	}
+}
+
+func TestMultipleArmedSnapshots(t *testing.T) {
+	w := New(8)
+	for i := uint64(1); i <= 8; i++ {
+		w.Push(ev(i))
+	}
+	var got []uint64
+	w.Arm(func(s *Snapshot) { got = append(got, s.Events[s.FaultIndex].Seq) })
+	w.Push(ev(9))
+	w.Push(ev(10))
+	w.Arm(func(s *Snapshot) { got = append(got, s.Events[s.FaultIndex].Seq) })
+	for i := uint64(11); i <= 20; i++ {
+		w.Push(ev(i))
+	}
+	if len(got) != 2 || got[0] != 8 || got[1] != 10 {
+		t.Fatalf("fault seqs = %v, want [8 10]", got)
+	}
+}
+
+func TestSnapshotEarlyFault(t *testing.T) {
+	// Fault before the window ever filled: index clamps to 0.
+	w := New(8)
+	w.Push(ev(1))
+	var snap *Snapshot
+	w.Arm(func(s *Snapshot) { snap = s })
+	for i := uint64(2); i <= 5; i++ {
+		w.Push(ev(i))
+	}
+	if snap == nil {
+		t.Fatal("snapshot never fired")
+	}
+	if snap.FaultIndex != 0 || snap.Events[0].Seq != 1 {
+		t.Fatalf("fault index = %d, first = %d", snap.FaultIndex, snap.Events[0].Seq)
+	}
+}
+
+func TestContextGrowth(t *testing.T) {
+	evs := make([]trace.Event, 100)
+	for i := range evs {
+		evs[i] = ev(uint64(i))
+	}
+	s := &Snapshot{Events: evs, FaultIndex: 50}
+	c := s.Context(10)
+	if len(c) != 11 { // 5 each side + fault
+		t.Fatalf("context size = %d", len(c))
+	}
+	if c[0].Seq != 45 || c[len(c)-1].Seq != 55 {
+		t.Fatalf("context range [%d,%d]", c[0].Seq, c[len(c)-1].Seq)
+	}
+	if s.Covered(10) {
+		t.Fatal("covered too early")
+	}
+	full := s.Context(1000)
+	if len(full) != 100 {
+		t.Fatalf("full context = %d", len(full))
+	}
+	if !s.Covered(1000) {
+		t.Fatal("not covered at 1000")
+	}
+	if s.Context(0) != nil {
+		t.Fatal("Context(0) should be nil")
+	}
+}
+
+func TestContextClampsAtEdges(t *testing.T) {
+	evs := make([]trace.Event, 10)
+	for i := range evs {
+		evs[i] = ev(uint64(i))
+	}
+	s := &Snapshot{Events: evs, FaultIndex: 1}
+	c := s.Context(8)
+	if c[0].Seq != 0 {
+		t.Fatalf("context start = %d", c[0].Seq)
+	}
+	s.FaultIndex = 9
+	c = s.Context(8)
+	if c[len(c)-1].Seq != 9 {
+		t.Fatalf("context end = %d", c[len(c)-1].Seq)
+	}
+}
+
+func TestFlushFiresPartialSnapshots(t *testing.T) {
+	w := New(8)
+	for i := uint64(1); i <= 8; i++ {
+		w.Push(ev(i))
+	}
+	var snap *Snapshot
+	w.Arm(func(s *Snapshot) { snap = s })
+	w.Push(ev(9)) // only 1 of 4 future messages
+	w.Flush()
+	if snap == nil {
+		t.Fatal("flush did not fire")
+	}
+	if got := snap.Events[snap.FaultIndex].Seq; got != 8 {
+		t.Fatalf("flushed fault seq = %d, want 8", got)
+	}
+	if w.ArmedCount() != 0 {
+		t.Fatal("armed not cleared by flush")
+	}
+}
+
+func TestMinimumAlpha(t *testing.T) {
+	w := New(0)
+	if w.Alpha() < 2 {
+		t.Fatal("alpha floor missing")
+	}
+}
+
+// Property: after any push sequence, window contents are the most recent
+// min(n, alpha) events in order.
+func TestQuickWindowContents(t *testing.T) {
+	f := func(n uint16, alphaRaw uint8) bool {
+		alpha := int(alphaRaw%64) + 2
+		w := New(alpha)
+		total := int(n % 500)
+		for i := 1; i <= total; i++ {
+			w.Push(ev(uint64(i)))
+		}
+		got := w.contents()
+		want := total
+		if want > alpha {
+			want = alpha
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			if got[i].Seq != uint64(total-want+i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
