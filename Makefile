@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build test race bench experiments examples fmt vet clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...

@@ -6,6 +6,7 @@ package gretel_test
 
 import (
 	"testing"
+	"time"
 
 	"gretel/internal/core"
 	"gretel/internal/experiments"
@@ -13,6 +14,7 @@ import (
 	"gretel/internal/hansel"
 	"gretel/internal/openstack"
 	"gretel/internal/replay"
+	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
 	"gretel/internal/trace"
 )
@@ -220,6 +222,54 @@ func BenchmarkAblationPostingLists(b *testing.B) {
 			if n == 0 {
 				b.Fatal("no candidates")
 			}
+		}
+	})
+}
+
+// BenchmarkTelemetryOverhead is the guard that keeps "lightweight"
+// measurable: the per-event instrumentation (counter increments,
+// histogram observes) must stay well under 100 ns/op, or the
+// self-telemetry layer starts distorting the throughput it reports.
+// Spans cost two time.Now calls on top and therefore run only on
+// per-snapshot paths (fault detection, RCA), never per event.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("counter-inc", func(b *testing.B) {
+		c := telemetry.GetCounter("bench.counter")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter-inc-parallel", func(b *testing.B) {
+		c := telemetry.GetCounter("bench.counter_par")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := telemetry.GetHistogram("bench.hist")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		// A span is two time.Now calls plus one histogram observation —
+		// the full cost of timing one pipeline stage.
+		h := telemetry.GetHistogram("bench.span")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Start().End()
+		}
+	})
+	b.Run("span-with-name-lookup", func(b *testing.B) {
+		// The convenience path pays a registry map read on top.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			telemetry.StartSpan("bench.span_lookup").End()
 		}
 	})
 }

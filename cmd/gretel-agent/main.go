@@ -11,6 +11,11 @@
 // Usage:
 //
 //	gretel-agent -analyzer 127.0.0.1:6166 -parallel 100 -faults 4 -duration 5m
+//	gretel-agent -analyzer 127.0.0.1:6166 -telemetry :6168   # live agent metrics
+//
+// With -telemetry, monitoring-layer counters (packets seen/parsed,
+// events emitted per service, transport frames/drops) are served at
+// /metrics with pprof at /debug/pprof/.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"gretel/internal/cluster"
 	"gretel/internal/faults"
 	"gretel/internal/openstack"
+	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
 	"gretel/internal/trace"
 )
@@ -38,8 +44,17 @@ func main() {
 		scenarioF   = flag.String("scenario", "none", "case-study fault to stage: none, linuxbridge, diskfull, ntp")
 		perNode     = flag.Bool("per-node", false, "run one monitoring agent (and TCP stream) per deployment node, as the paper deploys Bro")
 		truth       = flag.Bool("truth", true, "decorate events with ground-truth operation ids")
+		telAddr     = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6168; empty disables)")
 	)
 	flag.Parse()
+
+	if *telAddr != "" {
+		bound, _, err := telemetry.Serve(*telAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)", bound)
+	}
 
 	cat := tempest.NewCatalog(*seed)
 	rng := rand.New(rand.NewSource(*seed ^ 0xa9e47))

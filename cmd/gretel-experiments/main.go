@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gretel/internal/experiments"
+	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
 )
 
@@ -39,16 +40,24 @@ func main() {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
+		// Per-run sections append; start each invocation fresh.
+		os.Remove(filepath.Join(*outDir, "telemetry.txt"))
 	}
 
+	// Each experiment runs against a zeroed default registry; its
+	// telemetry snapshot is appended to out/telemetry.txt so every
+	// figure's raw data ships with the pipeline counters and stage
+	// latencies that produced it.
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		fmt.Printf("=== %s ===\n", name)
+		telemetry.Reset()
 		start := time.Now()
 		fn()
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		appendTelemetry(*outDir, name)
 	}
 
 	parallels := []int{100, 200, 300, 400}
@@ -166,6 +175,29 @@ func main() {
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+}
+
+// appendTelemetry appends one experiment's registry snapshot as a named
+// section of dir/telemetry.txt; dir=="" is a no-op.
+func appendTelemetry(dir, name string) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, "telemetry.txt")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Printf("writing %s: %v", path, err)
+		return
+	}
+	defer f.Close()
+	snap := telemetry.Snap()
+	fmt.Fprintf(f, "=== %s ===\n", name)
+	if err := snap.WriteText(f); err != nil {
+		log.Printf("writing %s: %v", path, err)
+		return
+	}
+	fmt.Fprintln(f)
+	log.Printf("appended telemetry for %s to %s (%s)", name, path, snap)
 }
 
 // writeCSV writes rows (first row headers) to dir/name.csv; dir=="" is a

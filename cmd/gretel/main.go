@@ -8,10 +8,13 @@
 //
 //	gretel -listen :6166 -library fingerprints.json
 //	gretel -listen :6166 -seed 1            # library from the built-in catalog
+//	gretel -listen :6166 -telemetry :6167   # + live /metrics and /debug/pprof
 //
 // Generate a fingerprint library with cmd/gretel-fingerprint, or let the
 // analyzer build one from the deterministic Tempest-analogue catalog
-// using -seed.
+// using -seed. With -telemetry, pipeline counters and per-stage latency
+// histograms are served at /metrics (flat text, ?format=json for JSON)
+// and profiling endpoints at /debug/pprof/.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"gretel/internal/core"
 	"gretel/internal/fingerprint"
 	"gretel/internal/rca"
+	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
 )
 
@@ -41,8 +45,17 @@ func main() {
 		perf     = flag.Bool("perf", true, "enable performance-fault detection")
 		quiet    = flag.Bool("quiet", false, "suppress per-report output; print only the summary")
 		jsonOut  = flag.Bool("json", false, "emit reports as JSON lines instead of text")
+		telAddr  = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6167; empty disables)")
 	)
 	flag.Parse()
+
+	if *telAddr != "" {
+		bound, _, err := telemetry.Serve(*telAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)", bound)
+	}
 
 	var lib *fingerprint.Library
 	var err error
@@ -114,6 +127,14 @@ func main() {
 	fmt.Printf("pairs:     %d REST, %d RPC\n", st.RESTPairs, st.RPCPairs)
 	fmt.Printf("faults:    %d operational markers, %d latency alarms\n", st.Faults, st.PerfAlarms)
 	fmt.Printf("reports:   %d (%d with no matching fingerprint)\n", st.Reports, st.FalseNegs)
+	if wm := telemetry.GetHistogram("core.window_match").Stats(); wm.Count > 0 {
+		fmt.Printf("detect:    window-match p50=%.2fms p99=%.2fms max=%.2fms over %d snapshots\n",
+			wm.P50Ms, wm.P99Ms, wm.MaxMs, wm.Count)
+	}
+	if rc := telemetry.GetHistogram("core.rca").Stats(); rc.Count > 0 {
+		fmt.Printf("rca:       p50=%.2fms p99=%.2fms over %d invocations\n",
+			rc.P50Ms, rc.P99Ms, rc.Count)
+	}
 
 	sums := analyzer.LatencySummaries()
 	if len(sums) > 0 {

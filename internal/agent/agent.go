@@ -18,7 +18,28 @@ import (
 	"gretel/internal/amqp"
 	"gretel/internal/cluster"
 	"gretel/internal/rest"
+	"gretel/internal/telemetry"
 	"gretel/internal/trace"
+)
+
+// Monitoring-layer telemetry, aggregated across every Monitor in the
+// process (the per-Monitor Parsed/ParseErrors/Ignored fields stay as the
+// per-agent view). Emitted events are broken out per destination service
+// so an operator can see which OpenStack component dominates the stream.
+var (
+	mPacketsSeen  = telemetry.GetCounter("agent.packets_seen")
+	mPacketsIrrel = telemetry.GetCounter("agent.packets_irrelevant")
+	mParsed       = telemetry.GetCounter("agent.packets_parsed")
+	mParseErrors  = telemetry.GetCounter("agent.parse_errors")
+	mEmittedBySvc = func() []*telemetry.Counter {
+		svcs := trace.Services()
+		out := make([]*telemetry.Counter, len(svcs)+1) // values are contiguous from SvcUnknown
+		out[trace.SvcUnknown] = telemetry.GetCounter("agent.events_emitted.unknown")
+		for _, s := range svcs {
+			out[s] = telemetry.GetCounter("agent.events_emitted." + s.String())
+		}
+		return out
+	}()
 )
 
 // Sink receives parsed events in capture order.
@@ -111,8 +132,10 @@ func relevant(pkt *cluster.Packet) bool {
 // byte stream and parsing any complete messages. Irrelevant traffic
 // (database protocol) is dropped by the capture filter.
 func (m *Monitor) HandlePacket(pkt cluster.Packet) {
+	mPacketsSeen.Inc()
 	if !relevant(&pkt) {
 		m.Ignored++
+		mPacketsIrrel.Inc()
 		return
 	}
 	key := streamKey{pkt.ConnID, pkt.SrcAddr}
@@ -143,9 +166,11 @@ func (m *Monitor) parseOne(pkt cluster.Packet, buf []byte) (int, bool) {
 				return 0, false // wait for more bytes
 			}
 			m.ParseErrors++
+			mParseErrors.Inc()
 			return len(buf), false // abandon the stream
 		}
 		m.Parsed++
+		mParsed.Inc()
 		m.emitRPC(pkt, msg, n)
 		return n, true
 	case rest.IsResponse(buf):
@@ -155,9 +180,11 @@ func (m *Monitor) parseOne(pkt cluster.Packet, buf []byte) (int, bool) {
 				return 0, false
 			}
 			m.ParseErrors++
+			mParseErrors.Inc()
 			return len(buf), false
 		}
 		m.Parsed++
+		mParsed.Inc()
 		m.emitRESTResponse(pkt, resp, n)
 		return n, true
 	default:
@@ -167,9 +194,11 @@ func (m *Monitor) parseOne(pkt cluster.Packet, buf []byte) (int, bool) {
 				return 0, false
 			}
 			m.ParseErrors++
+			mParseErrors.Inc()
 			return len(buf), false
 		}
 		m.Parsed++
+		mParsed.Inc()
 		m.emitRESTRequest(pkt, req, n)
 		return n, true
 	}
@@ -199,6 +228,9 @@ func (m *Monitor) deliver(ev trace.Event, pkt *cluster.Packet) {
 	m.decorate(&ev)
 	if m.Emit != nil && !m.Emit(&ev, pkt) {
 		return
+	}
+	if svc := int(ev.API.Service); svc < len(mEmittedBySvc) {
+		mEmittedBySvc[svc].Inc()
 	}
 	m.sink(ev)
 }

@@ -15,7 +15,22 @@ import (
 	"net"
 	"sync"
 
+	"gretel/internal/telemetry"
 	"gretel/internal/trace"
+)
+
+// Transport telemetry. frames_dropped counts events/states discarded on
+// a sender whose connection already failed (sticky error);
+// connections_dropped counts receiver-side streams abandoned on framing
+// or decode errors — the failure path that used to be a bare return.
+var (
+	mFramesSent    = telemetry.GetCounter("transport.frames_sent")
+	mFramesRecv    = telemetry.GetCounter("transport.frames_received")
+	mFramesDropped = telemetry.GetCounter("transport.frames_dropped")
+	mReconnects    = telemetry.GetCounter("transport.reconnects")
+	mConnsDropped  = telemetry.GetCounter("transport.connections_dropped")
+	mDecodeErrors  = telemetry.GetCounter("transport.decode_errors")
+	mActiveConns   = telemetry.GetGauge("transport.active_connections")
 )
 
 // MaxFrame bounds a single encoded frame (defense against corrupt
@@ -94,6 +109,7 @@ func ReadEvent(r io.Reader) (trace.Event, error) {
 // method is safe for concurrent use and satisfies the Sink signature.
 type Sender struct {
 	mu   sync.Mutex
+	addr string
 	conn net.Conn
 	bw   *bufio.Writer
 	err  error
@@ -105,7 +121,27 @@ func Dial(addr string) (*Sender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("agent: dialing analyzer: %w", err)
 	}
-	return &Sender{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}, nil
+	return &Sender{addr: addr, conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}, nil
+}
+
+// Reconnect re-dials the analyzer and clears the sticky error so
+// subsequent Sends flow again. A no-op when the sender is healthy.
+func (s *Sender) Reconnect() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", s.addr)
+	if err != nil {
+		return fmt.Errorf("agent: reconnecting to analyzer: %w", err)
+	}
+	s.conn.Close()
+	s.conn = conn
+	s.bw = bufio.NewWriterSize(conn, 64<<10)
+	s.err = nil
+	mReconnects.Inc()
+	return nil
 }
 
 // Send writes one event; errors are sticky and reported by Close.
@@ -113,9 +149,14 @@ func (s *Sender) Send(ev trace.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
+		mFramesDropped.Inc()
 		return
 	}
-	s.err = WriteEvent(s.bw, &ev)
+	if s.err = WriteEvent(s.bw, &ev); s.err != nil {
+		s.failLocked()
+		return
+	}
+	mFramesSent.Inc()
 }
 
 // SendState writes one state update; errors are sticky.
@@ -123,9 +164,21 @@ func (s *Sender) SendState(u StateUpdate) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
+		mFramesDropped.Inc()
 		return
 	}
-	s.err = WriteState(s.bw, &u)
+	if s.err = WriteState(s.bw, &u); s.err != nil {
+		s.failLocked()
+		return
+	}
+	mFramesSent.Inc()
+}
+
+// failLocked counts the frame lost to a fresh transport error and logs
+// the first occurrence; the caller holds s.mu and has set s.err.
+func (s *Sender) failLocked() {
+	mFramesDropped.Inc()
+	telemetry.LogFirst("transport.send", "agent: send to %s failed: %v; dropping frames until Reconnect", s.addr, s.err)
 }
 
 // Flush pushes buffered frames to the socket.
@@ -206,16 +259,30 @@ func (r *Receiver) acceptLoop() {
 func (r *Receiver) serve(conn net.Conn) {
 	defer r.wg.Done()
 	defer conn.Close()
+	mActiveConns.Add(1)
+	defer mActiveConns.Add(-1)
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		kind, body, err := readFrame(br)
 		if err != nil {
-			return // EOF or broken frame: drop the connection
+			if err != io.EOF {
+				// Mid-frame truncation or a corrupt header: the stream is
+				// unrecoverable, but the loss must not be silent.
+				mConnsDropped.Inc()
+				telemetry.LogFirst("transport.drop",
+					"agent: dropping connection from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
 		}
+		mFramesRecv.Inc()
 		switch kind {
 		case frameEvent:
 			var ev trace.Event
-			if json.Unmarshal(body, &ev) != nil {
+			if derr := json.Unmarshal(body, &ev); derr != nil {
+				mDecodeErrors.Inc()
+				mConnsDropped.Inc()
+				telemetry.LogFirst("transport.decode",
+					"agent: dropping connection from %s: undecodable event frame: %v", conn.RemoteAddr(), derr)
 				return
 			}
 			select {
@@ -225,7 +292,11 @@ func (r *Receiver) serve(conn net.Conn) {
 			}
 		case frameState:
 			var u StateUpdate
-			if json.Unmarshal(body, &u) != nil {
+			if derr := json.Unmarshal(body, &u); derr != nil {
+				mDecodeErrors.Inc()
+				mConnsDropped.Inc()
+				telemetry.LogFirst("transport.decode",
+					"agent: dropping connection from %s: undecodable state frame: %v", conn.RemoteAddr(), derr)
 				return
 			}
 			select {

@@ -3,9 +3,11 @@ package agent
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"testing"
 	"time"
 
+	"gretel/internal/telemetry"
 	"gretel/internal/trace"
 )
 
@@ -217,5 +219,131 @@ func TestCollectStateAndStoreRoundTrip(t *testing.T) {
 	}
 	if len(got.Nodes) != 1 || got.Nodes[0].Name != "c1" || got.Nodes[0].Up {
 		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+// waitCounterAbove polls a telemetry counter until it exceeds floor or
+// the deadline passes (receiver goroutines count asynchronously).
+func waitCounterAbove(t *testing.T, c *telemetry.Counter, floor uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Value() <= floor {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d (want > %d)", c.Value(), floor)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReceiverCountsDroppedConnections closes the satellite gap at the
+// old bare-return drop site: a corrupt frame must increment
+// transport.connections_dropped rather than vanish.
+func TestReceiverCountsDroppedConnections(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	dropped := telemetry.GetCounter("transport.connections_dropped")
+	before := dropped.Value()
+
+	conn, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown frame kind 'X': readFrame fails mid-stream.
+	conn.Write([]byte{'X', 0, 0, 0, 1, 'a'})
+	conn.Close()
+	waitCounterAbove(t, dropped, before)
+}
+
+// TestReceiverCountsDecodeErrors: a well-framed but undecodable event
+// body must be counted (and the connection dropped), not silently eaten.
+func TestReceiverCountsDecodeErrors(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	decode := telemetry.GetCounter("transport.decode_errors")
+	before := decode.Value()
+
+	conn, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("not-json")
+	hdr := []byte{'E', 0, 0, 0, byte(len(body))}
+	conn.Write(append(hdr, body...))
+	conn.Close()
+	waitCounterAbove(t, decode, before)
+}
+
+// TestSenderReconnectAfterFailure drives a sender into a sticky error by
+// closing the server side, then verifies Reconnect restores the stream
+// and counts itself.
+func TestSenderReconnectAfterFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conns := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns <- c
+		}
+	}()
+
+	s, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := <-conns
+	first.Close()
+
+	reconnects := telemetry.GetCounter("transport.reconnects")
+	recBefore := reconnects.Value()
+	dropped := telemetry.GetCounter("transport.frames_dropped")
+	dropBefore := dropped.Value()
+
+	// Writes into a peer-closed connection fail once the RST lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Flush() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never observed the closed connection")
+		}
+		s.Send(sampleEvent(1))
+		time.Sleep(time.Millisecond)
+	}
+	s.Send(sampleEvent(1)) // dropped on the sticky error
+	if dropped.Value() <= dropBefore {
+		t.Fatal("dropped frames not counted")
+	}
+
+	if err := s.Reconnect(); err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	if got := reconnects.Value(); got != recBefore+1 {
+		t.Fatalf("reconnects = %d, want %d", got, recBefore+1)
+	}
+	s.Send(sampleEvent(2))
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush after reconnect: %v", err)
+	}
+	second := <-conns
+	ev, err := ReadEvent(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 2 {
+		t.Fatalf("event after reconnect has seq %d, want 2", ev.Seq)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after reconnect: %v", err)
 	}
 }

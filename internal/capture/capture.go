@@ -13,6 +13,16 @@ import (
 	"gretel/internal/cluster"
 	"gretel/internal/packet"
 	"gretel/internal/pcap"
+	"gretel/internal/telemetry"
+)
+
+// Pipeline telemetry: frames written across every recorder (exposing the
+// per-recorder Frames field through the registry) and sticky errors,
+// which previously vanished into the Err field without a trace.
+var (
+	mFramesWritten = telemetry.GetCounter("capture.frames_written")
+	mCaptureErrors = telemetry.GetCounter("capture.errors")
+	mFramesReplay  = telemetry.GetCounter("capture.frames_replayed")
 )
 
 // Recorder is a fabric tap writing every delivered message to a pcap
@@ -37,7 +47,7 @@ func (r *Recorder) Tap(pkt cluster.Packet) {
 	}
 	f, err := packet.Build(pkt.SrcAddr, pkt.DstAddr, pkt.Payload)
 	if err != nil {
-		r.Err = fmt.Errorf("capture: framing %s->%s: %w", pkt.SrcAddr, pkt.DstAddr, err)
+		r.fail(fmt.Errorf("capture: framing %s->%s: %w", pkt.SrcAddr, pkt.DstAddr, err))
 		return
 	}
 	r.ipSeq++
@@ -46,9 +56,20 @@ func (r *Recorder) Tap(pkt cluster.Packet) {
 	// number so replay can recover exact connection identity; standard
 	// tools just see a sequence number.
 	f.TCP.Seq = uint32(pkt.ConnID)
-	if r.Err = r.w.WritePacket(pkt.Time, f.Marshal()); r.Err == nil {
-		r.Frames++
+	if err := r.w.WritePacket(pkt.Time, f.Marshal()); err != nil {
+		r.fail(err)
+		return
 	}
+	r.Frames++
+	mFramesWritten.Inc()
+}
+
+// fail records the sticky error so the tap stays best-effort, but no
+// longer silently: the drop is counted and the first occurrence logged.
+func (r *Recorder) fail(err error) {
+	r.Err = err
+	mCaptureErrors.Inc()
+	telemetry.LogFirst("capture.errors", "capture: recorder disabled: %v", err)
 }
 
 // Flush finalizes the capture (writes the header even if no packets).
@@ -56,7 +77,11 @@ func (r *Recorder) Flush() error {
 	if r.Err != nil {
 		return r.Err
 	}
-	return r.w.Flush()
+	if err := r.w.Flush(); err != nil {
+		r.fail(err)
+		return err
+	}
+	return nil
 }
 
 // NodeResolver maps an IPv4 address (dotted quad, no port) to a
@@ -122,5 +147,6 @@ func Replay(rd io.Reader, resolve NodeResolver, emit func(cluster.Packet)) (int,
 			Payload: f.Payload,
 		})
 		n++
+		mFramesReplay.Inc()
 	}
 }

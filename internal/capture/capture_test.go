@@ -13,6 +13,7 @@ import (
 	"gretel/internal/faults"
 	"gretel/internal/openstack"
 	"gretel/internal/scenario"
+	"gretel/internal/telemetry"
 	"gretel/internal/trace"
 )
 
@@ -161,5 +162,38 @@ func TestRecorderStickyErrorOnBadAddress(t *testing.T) {
 func TestReplayRejectsGarbage(t *testing.T) {
 	if _, err := capture.Replay(bytes.NewReader([]byte("not a pcap")), nil, nil); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestRecorderTelemetry: frames are counted in the registry (the
+// satellite "expose Frames through the registry") and a sticky error
+// increments capture.errors instead of vanishing into the Err field.
+func TestRecorderTelemetry(t *testing.T) {
+	frames := telemetry.GetCounter("capture.frames_written")
+	errs := telemetry.GetCounter("capture.errors")
+	framesBefore, errsBefore := frames.Value(), errs.Value()
+
+	var buf bytes.Buffer
+	rec := capture.NewRecorder(&buf)
+	rec.Tap(cluster.Packet{SrcAddr: "10.0.0.1:1", DstAddr: "10.0.0.2:2", Payload: []byte("x")})
+	if rec.Frames != 1 {
+		t.Fatalf("Frames = %d, want 1", rec.Frames)
+	}
+	if got := frames.Value(); got != framesBefore+1 {
+		t.Fatalf("capture.frames_written = %d, want %d", got, framesBefore+1)
+	}
+
+	rec2 := capture.NewRecorder(&bytes.Buffer{})
+	rec2.Tap(cluster.Packet{SrcAddr: "not-an-addr", DstAddr: "10.0.0.1:80"})
+	if rec2.Err == nil {
+		t.Fatal("bad address accepted")
+	}
+	if got := errs.Value(); got != errsBefore+1 {
+		t.Fatalf("capture.errors = %d, want %d", got, errsBefore+1)
+	}
+	// Sticky: further taps don't re-count the same dead recorder.
+	rec2.Tap(cluster.Packet{SrcAddr: "10.0.0.1:1", DstAddr: "10.0.0.2:2", Payload: []byte("x")})
+	if got := errs.Value(); got != errsBefore+1 {
+		t.Fatalf("capture.errors after sticky tap = %d, want %d", got, errsBefore+1)
 	}
 }

@@ -19,9 +19,28 @@ import (
 
 	"gretel/internal/fingerprint"
 	"gretel/internal/stats"
+	"gretel/internal/telemetry"
 	"gretel/internal/trace"
 	"gretel/internal/tsoutliers"
 	"gretel/internal/window"
+)
+
+// Analyzer telemetry: the per-Analyzer Stats struct keeps serving the
+// experiments; these process-wide metrics feed the live /metrics
+// endpoint. The histograms time the two heavy stages — Algorithm 2's
+// window matching and the RCA hook — in wall-clock time, which is what
+// "lightweight" must be judged by.
+var (
+	mEventsIngested = telemetry.GetCounter("core.events_ingested")
+	mRESTPairs      = telemetry.GetCounter("core.rest_pairs")
+	mRPCPairs       = telemetry.GetCounter("core.rpc_pairs")
+	mFaultsOper     = telemetry.GetCounter("core.faults.operational")
+	mFaultsPerf     = telemetry.GetCounter("core.faults.performance")
+	mDetectAttempts = telemetry.GetCounter("core.opdetect.attempts")
+	mDetectHits     = telemetry.GetCounter("core.opdetect.hits")
+	mDetectMisses   = telemetry.GetCounter("core.opdetect.misses")
+	hWindowMatch    = telemetry.GetHistogram("core.window_match")
+	hRCA            = telemetry.GetHistogram("core.rca")
 )
 
 // FaultKind distinguishes the two fault classes GRETEL localizes.
@@ -266,6 +285,7 @@ func (a *Analyzer) Reports() []*Report { return a.reports }
 // called from a single goroutine (the event receiver).
 func (a *Analyzer) Ingest(ev trace.Event) {
 	a.Stats.Events++
+	mEventsIngested.Inc()
 	a.Stats.Bytes += uint64(ev.WireBytes)
 	if ev.Seq == 0 {
 		ev.Seq = a.Stats.Events
@@ -284,6 +304,7 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 			latency = ev.Time.Sub(req.at)
 			havePair = true
 			a.Stats.RESTPairs++
+			mRESTPairs.Inc()
 		}
 	case trace.RPCCall:
 		if ev.MsgID != "" {
@@ -295,6 +316,7 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 			latency = ev.Time.Sub(req.at)
 			havePair = true
 			a.Stats.RPCPairs++
+			mRPCPairs.Inc()
 		}
 	}
 
@@ -305,6 +327,7 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 	// ride along inside the snapshot) unless configured otherwise.
 	if ev.Faulty() {
 		a.Stats.Faults++
+		mFaultsOper.Inc()
 		if ev.Type == trace.RESTResponse || a.cfg.SnapshotOnRPCErrors {
 			a.armSnapshot(ev, Operational, 0)
 		}
@@ -322,6 +345,7 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 		alarms := a.latBank.Observe(ev.API.String(), ev.Time, latency.Seconds())
 		if len(alarms) > 0 {
 			a.Stats.PerfAlarms += uint64(len(alarms))
+			mFaultsPerf.Add(uint64(len(alarms)))
 			if a.cfg.PerfDetection && a.perfSnapshotDue(ev.API, ev.Time) {
 				a.armSnapshot(ev, Performance, latency)
 			}
@@ -444,6 +468,8 @@ func (a *Analyzer) match(fp *fingerprint.Fingerprint, pattern []rune, idx *finge
 
 // detect runs Algorithm 2 over a filled snapshot.
 func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Duration, snap *window.Snapshot) {
+	mDetectAttempts.Inc()
+	span := hWindowMatch.Start()
 	rep := &Report{
 		Kind:       kind,
 		Fault:      faultEv,
@@ -485,6 +511,7 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 	if len(cands) == 0 {
 		a.Stats.FalseNegs++
 		rep.Precision = 0
+		span.End()
 		a.finish(rep)
 		return
 	}
@@ -539,6 +566,7 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 	if n == 0 {
 		a.Stats.FalseNegs++
 	}
+	span.End()
 	a.finish(rep)
 }
 
@@ -585,8 +613,15 @@ func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, corrID s
 }
 
 func (a *Analyzer) finish(rep *Report) {
+	if len(rep.Candidates) > 0 {
+		mDetectHits.Inc()
+	} else {
+		mDetectMisses.Inc()
+	}
 	if a.rca != nil {
+		span := hRCA.Start()
 		rep.RootCauses = a.rca(rep)
+		span.End()
 	}
 	a.Stats.Reports++
 	a.Stats.MatchedTotal += uint64(len(rep.Candidates))

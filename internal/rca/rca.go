@@ -26,8 +26,18 @@ import (
 	"gretel/internal/core"
 	"gretel/internal/fingerprint"
 	"gretel/internal/metrics"
+	"gretel/internal/telemetry"
 	"gretel/internal/trace"
 	"gretel/internal/tsoutliers"
+)
+
+// RCA telemetry: how often the hook runs and what it finds, by cause
+// class (the latency of each invocation is timed by the analyzer's
+// core.rca histogram around the hook call).
+var (
+	mInvocations      = telemetry.GetCounter("rca.invocations")
+	mFindingsResource = telemetry.GetCounter("rca.findings.resource")
+	mFindingsSoftware = telemetry.GetCounter("rca.findings.software")
 )
 
 // StateSource is the engine's view of the deployment's distributed state.
@@ -177,6 +187,7 @@ func (e *Engine) Hook() func(*core.Report) []core.RootCause {
 // Analyze implements GET_ROOT_CAUSE: error nodes first, then the
 // remaining operation nodes.
 func (e *Engine) Analyze(rep *core.Report) []core.RootCause {
+	mInvocations.Inc()
 	at := rep.Fault.Time
 	nodes := e.src.NodeStates()
 	opNodes := e.nodesForOperations(rep.Candidates, nodes)
@@ -215,6 +226,14 @@ func (e *Engine) Analyze(rep *core.Report) []core.RootCause {
 	causes := e.findRootCause(first, at)
 	if len(causes) == 0 {
 		causes = e.findRootCause(rest, at)
+	}
+	for _, c := range causes {
+		switch c.Kind {
+		case "resource":
+			mFindingsResource.Inc()
+		case "software":
+			mFindingsSoftware.Inc()
+		}
 	}
 	return causes
 }

@@ -1,0 +1,133 @@
+// Live introspection: /metrics in flat text (grep-friendly "name value"
+// lines) or JSON (?format=json), the expvar dump on /debug/vars, and
+// net/http/pprof on /debug/pprof/ for CPU and heap profiles of a running
+// analyzer or agent — the run-time half of keeping GRETEL measurably
+// lightweight.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WriteText renders the snapshot as sorted "name value" lines.
+// Histograms expand into .count/.mean_ms/.p50_ms/.p90_ms/.p99_ms/.max_ms
+// lines so the whole dump stays flat and diffable.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Funcs)+6*len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Funcs {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", name, h.Count),
+			fmt.Sprintf("%s.mean_ms %.3f", name, h.MeanMs),
+			fmt.Sprintf("%s.p50_ms %.3f", name, h.P50Ms),
+			fmt.Sprintf("%s.p90_ms %.3f", name, h.P90Ms),
+			fmt.Sprintf("%s.p99_ms %.3f", name, h.P99Ms),
+			fmt.Sprintf("%s.max_ms %.3f", name, h.MaxMs))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry snapshot on any path: flat text by
+// default, JSON with ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+	})
+}
+
+// NewMux builds the introspection mux: /metrics (the registry),
+// /debug/vars (expvar), and /debug/pprof/ (profiles). The explicit
+// pprof registrations mirror what net/http/pprof does on
+// http.DefaultServeMux, which we deliberately avoid mutating.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// publishOnce guards the expvar names, which panic on double Publish.
+var (
+	publishMu   sync.Mutex
+	publishSeen = map[*Registry]bool{}
+)
+
+func publishExpvar(r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishSeen[r] {
+		return
+	}
+	publishSeen[r] = true
+	name := "gretel"
+	if r != std {
+		name = fmt.Sprintf("gretel.%p", r)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Serve starts the introspection endpoint on addr (e.g. ":6167"; ":0"
+// picks a free port) for the given registry (nil means the default).
+// It registers process.uptime_seconds and process.goroutines, publishes
+// the registry through expvar, and serves until the process exits or the
+// returned shutdown function is called. Returns the bound address.
+func Serve(addr string, r *Registry) (string, func() error, error) {
+	if r == nil {
+		r = std
+	}
+	start := time.Now()
+	r.RegisterFunc("process.uptime_seconds", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	r.RegisterFunc("process.goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	publishExpvar(r)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
