@@ -5,6 +5,7 @@
 package gretel_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -69,6 +70,7 @@ func BenchmarkFig8c_Throughput(b *testing.B) {
 	stream := replay.Synthesize(replay.StreamConfig{
 		Ops: ops, Concurrency: 400, Events: 100000, FaultEvery: 1000, Seed: 7,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	var res replay.Result
 	for i := 0; i < b.N; i++ {
@@ -77,6 +79,36 @@ func BenchmarkFig8c_Throughput(b *testing.B) {
 	}
 	b.ReportMetric(res.Mbps, "Mbps")
 	b.ReportMetric(res.EventsPerSec, "events/s")
+}
+
+// BenchmarkFig8c_Parallel runs the same faulty stream with detection on
+// a worker pool of 1/2/4/8 workers (0 in BenchmarkFig8c_Throughput is
+// the inline baseline), so the concurrency speedup lands in BENCH
+// history alongside the Mbps series.
+func BenchmarkFig8c_Parallel(b *testing.B) {
+	cat := tempest.NewCatalog(1)
+	lib := experiments.GroundTruthLibrary(cat)
+	ops := make([]*openstack.Operation, 0, 200)
+	for i, t := range cat.Tests {
+		if i%6 == 0 {
+			ops = append(ops, t.Op)
+		}
+	}
+	stream := replay.Synthesize(replay.StreamConfig{
+		Ops: ops, Concurrency: 400, Events: 100000, FaultEvery: 1000, Seed: 7,
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var res replay.Result
+			for i := 0; i < b.N; i++ {
+				a := core.New(lib, core.Config{DetectWorkers: workers})
+				res = replay.Drive(a, stream)
+			}
+			b.ReportMetric(res.Mbps, "Mbps")
+			b.ReportMetric(res.EventsPerSec, "events/s")
+		})
+	}
 }
 
 // BenchmarkHanselBaseline drives the identical stream through the HANSEL
@@ -279,6 +311,7 @@ func BenchmarkAnalyzerIngest(b *testing.B) {
 	cat := tempest.NewCatalog(1)
 	lib := experiments.GroundTruthLibrary(cat)
 	stream := replay.Synthesize(replay.StreamConfig{Concurrency: 200, Events: 50000, Seed: 5})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := core.New(lib, core.Config{})

@@ -30,10 +30,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		fast   = flag.Bool("fast", false, "reduced scales for a quick pass")
-		outDir = flag.String("out", "", "also write each figure's raw data as CSV into this directory")
+		exp     = flag.String("exp", "all", "experiment to run")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		fast    = flag.Bool("fast", false, "reduced scales for a quick pass")
+		outDir  = flag.String("out", "", "also write each figure's raw data as CSV into this directory")
+		workers = flag.Int("detect-workers", 0, "fig8c detection worker pool size (0 = inline detection)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -139,7 +140,7 @@ func main() {
 	})
 
 	run("fig8c", func() {
-		points := experiments.Fig8c(*seed, events, nil)
+		points := experiments.Fig8c(*seed, events, nil, *workers)
 		fmt.Print(experiments.FormatFig8c(points))
 		rows := [][]string{{"fault_every", "events_per_sec", "mbps", "reports"}}
 		for _, p := range points {

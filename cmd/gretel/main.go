@@ -15,6 +15,13 @@
 // using -seed. With -telemetry, pipeline counters and per-stage latency
 // histograms are served at /metrics (flat text, ?format=json for JSON)
 // and profiling endpoints at /debug/pprof/.
+//
+// Detection runs on a worker pool sized by -detect-workers (default
+// GOMAXPROCS) so Algorithm 2 never stalls event intake; -detect-workers 0
+// restores the classic inline path. The detect queue is bounded
+// (-detect-backlog); when full the receiver blocks, or drops snapshots
+// if -detect-shed is set (counted in core.snapshots_shed). Reports are
+// delivered in fault-arrival order either way.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"gretel/internal/agent"
@@ -46,6 +54,9 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-report output; print only the summary")
 		jsonOut  = flag.Bool("json", false, "emit reports as JSON lines instead of text")
 		telAddr  = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6167; empty disables)")
+		workers  = flag.Int("detect-workers", runtime.GOMAXPROCS(0), "detection worker pool size (0 = detect inline on the receive path)")
+		backlog  = flag.Int("detect-backlog", 0, "bounded detect queue capacity (0 = 4x workers)")
+		shed     = flag.Bool("detect-shed", false, "shed snapshots when the detect queue is full instead of applying backpressure")
 	)
 	flag.Parse()
 
@@ -76,6 +87,7 @@ func main() {
 
 	analyzer := core.New(lib, core.Config{
 		Alpha: *alpha, Prate: *prate, T: *horizonT, PerfDetection: *perf,
+		DetectWorkers: *workers, DetectBacklog: *backlog, DetectShed: *shed,
 	})
 	// Root-cause analysis over the distributed state the agents stream in.
 	store := rca.NewStore()
@@ -117,7 +129,7 @@ func main() {
 	for ev := range recv.Events() {
 		analyzer.Ingest(ev)
 	}
-	analyzer.Flush()
+	analyzer.Close()
 
 	st := analyzer.Stats
 	elapsed := time.Since(start)
@@ -127,6 +139,12 @@ func main() {
 	fmt.Printf("pairs:     %d REST, %d RPC\n", st.RESTPairs, st.RPCPairs)
 	fmt.Printf("faults:    %d operational markers, %d latency alarms\n", st.Faults, st.PerfAlarms)
 	fmt.Printf("reports:   %d (%d with no matching fingerprint)\n", st.Reports, st.FalseNegs)
+	if st.SnapshotsShed > 0 {
+		fmt.Printf("shed:      %d snapshots dropped under backpressure\n", st.SnapshotsShed)
+	}
+	if st.PairsEvicted > 0 {
+		fmt.Printf("evicted:   %d unpaired requests aged out\n", st.PairsEvicted)
+	}
 	if wm := telemetry.GetHistogram("core.window_match").Stats(); wm.Count > 0 {
 		fmt.Printf("detect:    window-match p50=%.2fms p99=%.2fms max=%.2fms over %d snapshots\n",
 			wm.P50Ms, wm.P99Ms, wm.MaxMs, wm.Count)

@@ -14,7 +14,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"gretel/internal/fingerprint"
@@ -172,6 +174,29 @@ type Config struct {
 	PerfCooldown time.Duration
 	// TotalOps overrides N in θ; defaults to the library size.
 	TotalOps int
+	// DetectWorkers sets the number of concurrent detection workers that
+	// run Algorithm 2 off the ingest hot path. 0 (the default) detects
+	// inline on the receiver goroutine — bit-for-bit the classic
+	// single-goroutine path, kept for ablation. Negative uses
+	// GOMAXPROCS. The worker pool preserves report order: a sequenced
+	// collector delivers reports in fault-arrival order, so inline and
+	// parallel modes produce identical output.
+	DetectWorkers int
+	// DetectBacklog bounds the snapshot queue feeding the worker pool
+	// (default 4×workers). When the queue is full the receiver blocks
+	// (backpressure) unless DetectShed is set.
+	DetectBacklog int
+	// DetectShed drops snapshots instead of blocking the receiver when
+	// the detection queue is full. Shed snapshots are counted in
+	// Stats.SnapshotsShed and the core.snapshots_shed telemetry counter.
+	DetectShed bool
+	// PairTTL evicts request-side pairing state (REST by connection, RPC
+	// by message id) whose response never arrived, once older than this
+	// in event time (default 10m; negative disables age eviction).
+	PairTTL time.Duration
+	// MaxPairs caps each pairing map; when full, the oldest quarter is
+	// evicted (default 65536; negative disables the cap).
+	MaxPairs int
 }
 
 func (c *Config) defaults(lib *fingerprint.Library) {
@@ -208,25 +233,43 @@ func (c *Config) defaults(lib *fingerprint.Library) {
 		// so micro-jitter never alarms.
 		c.Latency.MinSpread = 5e-3
 	}
+	if c.DetectWorkers < 0 {
+		c.DetectWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.DetectBacklog <= 0 {
+		c.DetectBacklog = 4 * c.DetectWorkers
+	}
+	if c.PairTTL == 0 {
+		c.PairTTL = 10 * time.Minute
+	}
+	if c.MaxPairs == 0 {
+		c.MaxPairs = 1 << 16
+	}
 }
 
-// Stats counts analyzer work for the throughput experiments.
+// Stats counts analyzer work for the throughput experiments. Receiver
+// fields (Events…Snapshots, SnapshotsShed, PairsEvicted) are written by
+// the ingest goroutine, report fields (Reports, FalseNegs, MatchedTotal)
+// by the report collector; read them after Flush or Close.
 type Stats struct {
-	Events       uint64
-	Bytes        uint64
-	RESTPairs    uint64
-	RPCPairs     uint64
-	Faults       uint64
-	PerfAlarms   uint64
-	Snapshots    uint64
-	Reports      uint64
-	FalseNegs    uint64 // faults whose API had no fingerprint candidates
-	MatchedTotal uint64 // sum of candidate-set sizes across reports
+	Events        uint64
+	Bytes         uint64
+	RESTPairs     uint64
+	RPCPairs      uint64
+	Faults        uint64
+	PerfAlarms    uint64
+	Snapshots     uint64
+	SnapshotsShed uint64 // snapshots dropped under DetectShed backpressure
+	PairsEvicted  uint64 // pairing-state entries evicted by TTL or cap
+	Reports       uint64
+	FalseNegs     uint64 // faults whose API had no fingerprint candidates
+	MatchedTotal  uint64 // sum of candidate-set sizes across reports
 }
 
 type pendingReq struct {
 	at  time.Time
 	api trace.API
+	seq uint64 // event sequence, for deterministic eviction tie-breaks
 }
 
 // Analyzer is the central GRETEL service.
@@ -241,20 +284,31 @@ type Analyzer struct {
 	latStats     map[trace.API]*stats.Summary
 	lastPerfSnap map[trace.API]time.Time
 
-	// leanCache caches RPC-pruned fingerprints by name.
-	leanCache map[string]*fingerprint.Fingerprint
+	// leanCache caches RPC-pruned fingerprints by name; sync.Map because
+	// concurrent detect workers populate it.
+	leanCache sync.Map // string -> *fingerprint.Fingerprint
 
 	onReport func(*Report)
 	rca      func(*Report) []RootCause
 
 	reports []*Report
 	Stats   Stats
+
+	// Detection pipeline state (pipeline.go); jobs is nil in inline mode.
+	jobs          chan detectJob
+	results       chan detectResult
+	nextSeq       uint64
+	inFlight      sync.WaitGroup
+	workersWG     sync.WaitGroup
+	collectorDone chan struct{}
 }
 
-// New builds an analyzer over a learned fingerprint library.
+// New builds an analyzer over a learned fingerprint library. When
+// cfg.DetectWorkers is non-zero the detection worker pool starts
+// immediately; call Close to stop it (Flush alone drains it).
 func New(lib *fingerprint.Library, cfg Config) *Analyzer {
 	cfg.defaults(lib)
-	return &Analyzer{
+	a := &Analyzer{
 		cfg:          cfg,
 		lib:          lib,
 		win:          window.New(cfg.Alpha),
@@ -263,8 +317,11 @@ func New(lib *fingerprint.Library, cfg Config) *Analyzer {
 		latBank:      tsoutliers.NewBank(cfg.Latency),
 		latStats:     make(map[trace.API]*stats.Summary),
 		lastPerfSnap: make(map[trace.API]time.Time),
-		leanCache:    make(map[string]*fingerprint.Fingerprint),
 	}
+	if cfg.DetectWorkers > 0 {
+		a.startPipeline(cfg.DetectWorkers)
+	}
+	return a
 }
 
 // Config returns the effective configuration (with defaults resolved).
@@ -278,7 +335,9 @@ func (a *Analyzer) OnReport(fn func(*Report)) { a.onReport = fn }
 // in the rca package).
 func (a *Analyzer) SetRCA(fn func(*Report) []RootCause) { a.rca = fn }
 
-// Reports returns all reports produced so far.
+// Reports returns all reports produced so far, in fault-arrival order.
+// With a detection worker pool configured, call Flush or Close first to
+// drain in-flight detections.
 func (a *Analyzer) Reports() []*Report { return a.reports }
 
 // Ingest processes one event from the monitoring agents. It must be
@@ -297,7 +356,8 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 	var havePair bool
 	switch ev.Type {
 	case trace.RESTRequest:
-		a.pending[ev.ConnID] = pendingReq{ev.Time, ev.API}
+		a.Stats.PairsEvicted += capPairs(a.pending, a.cfg.MaxPairs)
+		a.pending[ev.ConnID] = pendingReq{ev.Time, ev.API, ev.Seq}
 	case trace.RESTResponse:
 		if req, ok := a.pending[ev.ConnID]; ok {
 			delete(a.pending, ev.ConnID)
@@ -308,7 +368,8 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 		}
 	case trace.RPCCall:
 		if ev.MsgID != "" {
-			a.calls[ev.MsgID] = pendingReq{ev.Time, ev.API}
+			a.Stats.PairsEvicted += capPairs(a.calls, a.cfg.MaxPairs)
+			a.calls[ev.MsgID] = pendingReq{ev.Time, ev.API, ev.Seq}
 		}
 	case trace.RPCReply:
 		if req, ok := a.calls[ev.MsgID]; ok {
@@ -318,6 +379,11 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 			a.Stats.RPCPairs++
 			mRPCPairs.Inc()
 		}
+	}
+	// Amortized age sweep: requests whose responses were lost on the
+	// wire must not grow the pairing maps forever.
+	if a.Stats.Events&(pairSweepEvery-1) == 0 {
+		a.evictAgedPairs(ev.Time)
 	}
 
 	a.win.Push(ev)
@@ -395,25 +461,44 @@ func (a *Analyzer) perfSnapshotDue(api trace.API, at time.Time) bool {
 }
 
 // Flush forces any armed snapshots to fire with the data already in the
-// window — called at end of stream.
+// window, then drains the detection pipeline — called at end of stream.
+// Once Flush returns, Reports and Stats reflect every fault ingested so
+// far.
 func (a *Analyzer) Flush() {
 	a.win.Flush()
+	if a.jobs != nil {
+		a.inFlight.Wait()
+	}
 }
 
 func (a *Analyzer) armSnapshot(ev trace.Event, kind FaultKind, latency time.Duration) {
 	a.Stats.Snapshots++
 	a.win.Arm(func(snap *window.Snapshot) {
-		a.detect(ev, kind, latency, snap)
+		a.dispatch(ev, kind, latency, snap)
 	})
 }
 
-// snapshotSymbols builds the pattern string from context-buffer events:
-// one symbol per *request-side* message (responses repeat the API and
-// would only duplicate symbols), skipping RPC symbols when pruning. When
-// corrID is non-empty (correlation-id mode), only events stamped with it
+// snapPattern is a snapshot's symbol pattern, computed once per snapshot:
+// syms holds the matchable symbols, evIdx maps each symbol back to its
+// event index in the snapshot (the fault-centered position map), and idx
+// is the occurrence index over the whole snapshot that β views re-slice.
+// Growing the context buffer is O(log) per step instead of rebuilding
+// pattern and index from the events each time.
+type snapPattern struct {
+	syms  []rune
+	evIdx []int32
+	idx   *fingerprint.SnapshotIndex
+}
+
+// snapshotPattern builds the pattern from snapshot events: one symbol
+// per *request-side* message (responses repeat the API and would only
+// duplicate symbols), skipping RPC symbols when pruning. When corrID is
+// non-empty (correlation-id mode), only events stamped with it
 // contribute — the precision extension of §5.3.1.
-func (a *Analyzer) snapshotSymbols(events []trace.Event, corrID string) []rune {
-	out := make([]rune, 0, len(events))
+func (a *Analyzer) snapshotPattern(snap *window.Snapshot, corrID string) snapPattern {
+	events := snap.Events
+	syms := make([]rune, 0, len(events))
+	evIdx := make([]int32, 0, len(events))
 	for i := range events {
 		ev := &events[i]
 		if !ev.Type.Request() {
@@ -429,25 +514,38 @@ func (a *Analyzer) snapshotSymbols(events []trace.Event, corrID string) []rune {
 		if !ok {
 			continue // API never fingerprinted: cannot help matching
 		}
-		out = append(out, r)
+		syms = append(syms, r)
+		evIdx = append(evIdx, int32(i))
 	}
-	return out
+	return snapPattern{syms: syms, evIdx: evIdx, idx: fingerprint.NewSnapshotIndex(syms)}
+}
+
+// view restricts the pattern to the symbols of events [lo, hi) by
+// re-slicing the precomputed pattern and index — no rebuild.
+func (p *snapPattern) view(lo, hi int) ([]rune, *fingerprint.SnapshotIndex) {
+	sLo := sort.Search(len(p.evIdx), func(i int) bool { return p.evIdx[i] >= int32(lo) })
+	sHi := sLo + sort.Search(len(p.evIdx)-sLo, func(i int) bool { return p.evIdx[sLo+i] >= int32(hi) })
+	return p.syms[sLo:sHi], p.idx.Slice(sLo, sHi)
 }
 
 // lean returns the fingerprint with RPC symbols pruned (cached), or the
 // fingerprint itself when pruning is off. The cache key includes the
 // truncation point: the same operation truncated at different offending
-// APIs yields different fingerprints.
+// APIs yields different fingerprints. Safe for concurrent detect
+// workers; racing workers may both compute the same pruned fingerprint,
+// but the result is identical and one copy wins.
 func (a *Analyzer) lean(fp *fingerprint.Fingerprint, offending rune) *fingerprint.Fingerprint {
 	if !a.cfg.PruneRPC {
 		return fp
 	}
 	key := fp.Name + "@" + string(offending)
-	if c, ok := a.leanCache[key]; ok {
-		return c
+	if c, ok := a.leanCache.Load(key); ok {
+		return c.(*fingerprint.Fingerprint)
 	}
 	c := fp.WithoutRPC(a.lib.Table)
-	a.leanCache[key] = c
+	if prev, loaded := a.leanCache.LoadOrStore(key, c); loaded {
+		return prev.(*fingerprint.Fingerprint)
+	}
 	return c
 }
 
@@ -466,8 +564,11 @@ func (a *Analyzer) match(fp *fingerprint.Fingerprint, pattern []rune, idx *finge
 	return fp.MatchRelaxedIndexed(idx)
 }
 
-// detect runs Algorithm 2 over a filled snapshot.
-func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Duration, snap *window.Snapshot) {
+// detect runs Algorithm 2 over a filled snapshot and returns the report.
+// It reads only immutable analyzer state (config, library, lean cache)
+// plus the snapshot, so concurrent detect workers may run it in
+// parallel; all mutable bookkeeping happens in finish.
+func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Duration, snap *window.Snapshot) *Report {
 	mDetectAttempts.Inc()
 	span := hWindowMatch.Start()
 	rep := &Report{
@@ -509,11 +610,9 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 	}
 	rep.CandidatesByErrorOnly = len(uniqueNames)
 	if len(cands) == 0 {
-		a.Stats.FalseNegs++
 		rep.Precision = 0
 		span.End()
-		a.finish(rep)
-		return
+		return rep
 	}
 	offSym, _ := a.lib.Table.Lookup(offending)
 
@@ -541,17 +640,16 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 	if a.cfg.UseCorrelationIDs {
 		corrID = faultEv.CorrID
 	}
+	pat := a.snapshotPattern(snap, corrID)
 	if kind == Performance {
 		beta = a.cfg.Alpha
-		pattern := a.snapshotSymbols(snap.Events, corrID)
-		idx := fingerprint.NewSnapshotIndex(pattern)
 		for _, p := range preps {
-			if a.match(p.fp, pattern, idx, corrID != "") {
+			if a.match(p.fp, pat.syms, pat.idx, corrID != "") {
 				matched = append(matched, p.name)
 			}
 		}
 	} else {
-		matched, beta = a.growContext(snap, preps, corrID)
+		matched, beta = a.growContext(snap, preps, &pat, corrID)
 	}
 
 	rep.Candidates = matched
@@ -563,11 +661,8 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 	} else {
 		rep.Precision = 1
 	}
-	if n == 0 {
-		a.Stats.FalseNegs++
-	}
 	span.End()
-	a.finish(rep)
+	return rep
 }
 
 // prepared pairs a candidate operation name with the (truncated, possibly
@@ -579,7 +674,9 @@ type prepared struct {
 
 // growContext iterates the context buffer from β₀ by δ per side, stopping
 // as soon as the precision drops (the matched set grows), per §5.3.1.
-func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, corrID string) ([]string, int) {
+// The snapshot's pattern and occurrence index were built once by the
+// caller; each β step re-slices them (O(α) total instead of O(α²)).
+func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, pat *snapPattern, corrID string) ([]string, int) {
 	beta0 := int(a.cfg.C1 * float64(a.cfg.Alpha))
 	delta := int(a.cfg.C2 * float64(a.cfg.Alpha))
 	if beta0 < 2 {
@@ -590,11 +687,12 @@ func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, corrID s
 	}
 	var prev []string
 	prevBeta := 0
+	seen := make(map[string]bool, len(preps))
 	for beta := beta0; ; beta += 2 * delta {
-		pattern := a.snapshotSymbols(snap.Context(beta), corrID)
-		idx := fingerprint.NewSnapshotIndex(pattern)
+		lo, hi := snap.ContextBounds(beta)
+		pattern, idx := pat.view(lo, hi)
 		var matched []string
-		seen := map[string]bool{}
+		clear(seen)
 		for _, p := range preps {
 			if !seen[p.name] && a.match(p.fp, pattern, idx, corrID != "") {
 				seen[p.name] = true
@@ -612,11 +710,17 @@ func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, corrID s
 	}
 }
 
+// finish applies a completed report to the analyzer's mutable state —
+// stats, report log, RCA, the OnReport callback. In inline mode it runs
+// on the receiver goroutine; with a worker pool it runs on the sequenced
+// collector, which delivers reports in fault-arrival order so parallel
+// detection produces byte-identical output.
 func (a *Analyzer) finish(rep *Report) {
 	if len(rep.Candidates) > 0 {
 		mDetectHits.Inc()
 	} else {
 		mDetectMisses.Inc()
+		a.Stats.FalseNegs++
 	}
 	if a.rca != nil {
 		span := hRCA.Start()

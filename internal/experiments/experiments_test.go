@@ -152,7 +152,7 @@ func TestFig8bInjectedLatencyAlarms(t *testing.T) {
 }
 
 func TestFig8cThroughputShape(t *testing.T) {
-	points := Fig8c(7, 40000, []int{100, 2000})
+	points := Fig8c(7, 40000, []int{100, 2000}, 0)
 	if len(points) != 2 {
 		t.Fatalf("points = %d", len(points))
 	}

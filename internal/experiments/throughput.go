@@ -25,8 +25,9 @@ type ThroughputPoint struct {
 // Fig8c measures the analyzer's sustained throughput for fault
 // frequencies of 1 per {100, 500, 1000, 1500, 2000} messages (the paper's
 // sweep), replaying a synthesized concurrent-operation stream at full
-// speed.
-func Fig8c(seed int64, events int, faultFreqs []int) []ThroughputPoint {
+// speed. workers sets the detection worker pool size (0 = classic
+// inline detection).
+func Fig8c(seed int64, events int, faultFreqs []int, workers int) []ThroughputPoint {
 	if events == 0 {
 		events = 200000
 	}
@@ -48,7 +49,7 @@ func Fig8c(seed int64, events int, faultFreqs []int) []ThroughputPoint {
 			Ops: ops, Concurrency: 400, Events: events,
 			FaultEvery: fe, PPS: 50000, Seed: seed ^ int64(fe),
 		})
-		a := core.New(lib, core.Config{})
+		a := core.New(lib, core.Config{DetectWorkers: workers})
 		out = append(out, ThroughputPoint{FaultEvery: fe, Result: replay.Drive(a, stream)})
 	}
 	return out

@@ -124,29 +124,47 @@ func (f *Fingerprint) mandatory() []rune {
 // SnapshotIndex pre-indexes a snapshot's symbol occurrences so many
 // fingerprints can be matched against one context buffer cheaply (the
 // §6 optimization of offloading regex matching applies the same idea:
-// index once, match hundreds of patterns).
+// index once, match hundreds of patterns). An index carries view bounds
+// [lo, hi) over the indexed sequence: Slice produces a sub-view sharing
+// the posting lists, so a growing context buffer re-slices one index
+// built over the whole snapshot instead of rebuilding per β step.
 type SnapshotIndex struct {
-	occ map[rune][]int32
-	n   int
+	occ    map[rune][]int32
+	lo, hi int32
 }
 
 // NewSnapshotIndex builds the occurrence index for a symbol sequence.
 func NewSnapshotIndex(s []rune) *SnapshotIndex {
-	idx := &SnapshotIndex{occ: make(map[rune][]int32), n: len(s)}
+	idx := &SnapshotIndex{occ: make(map[rune][]int32), hi: int32(len(s))}
 	for i, r := range s {
 		idx.occ[r] = append(idx.occ[r], int32(i))
 	}
 	return idx
 }
 
-// Len reports the indexed snapshot length.
-func (idx *SnapshotIndex) Len() int { return idx.n }
+// Slice returns a view of the index restricted to positions [lo, hi) of
+// the originally indexed sequence. The posting lists are shared — the
+// call is O(1) and the view is read-only like its parent.
+func (idx *SnapshotIndex) Slice(lo, hi int) *SnapshotIndex {
+	l, h := int32(lo), int32(hi)
+	if l < idx.lo {
+		l = idx.lo
+	}
+	if h > idx.hi {
+		h = idx.hi
+	}
+	if h < l {
+		h = l
+	}
+	return &SnapshotIndex{occ: idx.occ, lo: l, hi: h}
+}
 
-// firstAtOrAfter returns the first occurrence position of r at or after
-// j, or -1.
-func (idx *SnapshotIndex) firstAtOrAfter(r rune, j int32) int32 {
-	positions := idx.occ[r]
-	// Binary search over the sorted occurrence list.
+// Len reports the view length (the full snapshot length for an unsliced
+// index).
+func (idx *SnapshotIndex) Len() int { return int(idx.hi - idx.lo) }
+
+// searchPos returns the first index in positions holding a value >= j.
+func searchPos(positions []int32, j int32) int {
 	lo, hi := 0, len(positions)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -156,10 +174,32 @@ func (idx *SnapshotIndex) firstAtOrAfter(r rune, j int32) int32 {
 			hi = mid
 		}
 	}
-	if lo == len(positions) {
+	return lo
+}
+
+// firstAtOrAfter returns the first occurrence position of r at or after
+// j within the view, or -1.
+func (idx *SnapshotIndex) firstAtOrAfter(r rune, j int32) int32 {
+	if j < idx.lo {
+		j = idx.lo
+	}
+	positions := idx.occ[r]
+	i := searchPos(positions, j)
+	if i == len(positions) || positions[i] >= idx.hi {
 		return -1
 	}
-	return positions[lo]
+	return positions[i]
+}
+
+// contains reports whether r occurs anywhere within the view.
+func (idx *SnapshotIndex) contains(r rune) bool {
+	return idx.firstAtOrAfter(r, idx.lo) >= 0
+}
+
+// count returns the number of occurrences of r within the view.
+func (idx *SnapshotIndex) count(r rune) int {
+	positions := idx.occ[r]
+	return searchPos(positions, idx.hi) - searchPos(positions, idx.lo)
 }
 
 // MatchRelaxed reports whether the fingerprint matches the snapshot under
@@ -206,20 +246,19 @@ func (f *Fingerprint) MatchExactIndexed(idx *SnapshotIndex) bool {
 // truncates a long operation, repeated symbols make even the true
 // operation's own sequence appear locally out of order.
 func (f *Fingerprint) MatchCorrelated(idx *SnapshotIndex) bool {
-	if idx.n == 0 || len(f.Symbols) == 0 {
+	n := idx.Len()
+	if n == 0 || len(f.Symbols) == 0 {
 		return false
 	}
-	if len(idx.occ[f.Symbols[len(f.Symbols)-1]]) == 0 {
+	if !idx.contains(f.Symbols[len(f.Symbols)-1]) {
 		return false // the offending (final) symbol must be present
 	}
 	set := f.SymbolSet()
 	covered := 0
-	for sym, positions := range idx.occ {
-		if set[sym] {
-			covered += len(positions)
-		}
+	for sym := range set {
+		covered += idx.count(sym)
 	}
-	return float64(covered) >= corrCoverage*float64(idx.n)
+	return float64(covered) >= corrCoverage*float64(n)
 }
 
 // corrCoverage is the fraction of a correlation-filtered pattern that a
@@ -231,22 +270,22 @@ func (f *Fingerprint) matchOrdered(idx *SnapshotIndex, allowOmission bool) (bool
 	if len(pattern) == 0 {
 		return false, 0
 	}
-	var j int32
+	j := idx.lo
 	matched := 0
 	for i, p := range pattern {
-		if len(idx.occ[p]) == 0 {
+		k := idx.firstAtOrAfter(p, j)
+		if k < 0 {
+			if idx.contains(p) {
+				// Present in the snapshot, but only before our match
+				// point: the state-change order is violated.
+				return false, matched
+			}
 			if !allowOmission || i == len(pattern)-1 {
 				// Absent symbol: fatal in exact mode, and the offending
 				// (final) symbol must be present in every mode.
 				return false, matched
 			}
 			continue // absent from the snapshot: omission allowed
-		}
-		k := idx.firstAtOrAfter(p, j)
-		if k < 0 {
-			// Present in the snapshot, but only before our match point:
-			// the state-change order is violated.
-			return false, matched
 		}
 		matched++
 		j = k + 1

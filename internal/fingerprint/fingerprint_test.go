@@ -461,3 +461,69 @@ func TestLearnVariantsMaxCap(t *testing.T) {
 		t.Fatal("empty input")
 	}
 }
+
+// TestSliceViewMatchesRebuilt is the contract the detector's incremental
+// context growth relies on: matching against a Slice view of a full
+// snapshot index is equivalent to rebuilding the index from the
+// sub-pattern at every β step.
+func TestSliceViewMatchesRebuilt(t *testing.T) {
+	l := NewLibrary()
+	fps := []*Fingerprint{
+		l.AddAPIs("op1", "Compute", []trace.API{post("/a"), get("/r"), post("/b"), post("/c")}),
+		l.AddAPIs("op2", "Compute", []trace.API{post("/x"), post("/b")}),
+		l.AddAPIs("op3", "Storage", []trace.API{post("/c"), get("/r")}),
+	}
+	// Patterns drawn from the allocated symbol set plus noise runes.
+	var syms []rune
+	for _, api := range l.Table.APIs() {
+		if r, ok := l.Table.Lookup(api); ok {
+			syms = append(syms, r)
+		}
+	}
+	f := func(raw []uint8, loRaw, hiRaw uint8) bool {
+		pattern := make([]rune, len(raw))
+		for i, v := range raw {
+			if int(v)%4 == 0 {
+				pattern[i] = rune(0xF300 + int(v)) // noise
+			} else {
+				pattern[i] = syms[int(v)%len(syms)]
+			}
+		}
+		lo := int(loRaw) % (len(pattern) + 1)
+		hi := lo + int(hiRaw)%(len(pattern)-lo+1)
+		view := NewSnapshotIndex(pattern).Slice(lo, hi)
+		rebuilt := NewSnapshotIndex(pattern[lo:hi])
+		if view.Len() != rebuilt.Len() {
+			return false
+		}
+		for _, fp := range fps {
+			if fp.MatchExactIndexed(view) != fp.MatchExactIndexed(rebuilt) ||
+				fp.MatchRelaxedIndexed(view) != fp.MatchRelaxedIndexed(rebuilt) ||
+				fp.MatchCorrelated(view) != fp.MatchCorrelated(rebuilt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceClampsBounds(t *testing.T) {
+	idx := NewSnapshotIndex([]rune{'a', 'b', 'c'})
+	if got := idx.Slice(-5, 99).Len(); got != 3 {
+		t.Fatalf("clamped slice len = %d, want 3", got)
+	}
+	if got := idx.Slice(2, 1).Len(); got != 0 {
+		t.Fatalf("inverted slice len = %d, want 0", got)
+	}
+	// Nested views intersect (bounds are absolute positions in the
+	// original sequence); a sub-view can never widen its parent.
+	if got := idx.Slice(1, 3).Slice(2, 3); got.Len() != 1 {
+		t.Fatalf("nested slice len = %d, want 1", got.Len())
+	}
+	if got := idx.Slice(1, 3).Slice(0, 99); got.Len() != 2 {
+		t.Fatalf("nested slice did not clamp to parent: len = %d, want 2", got.Len())
+	}
+}

@@ -173,18 +173,25 @@ type Result struct {
 	EventsPerSec float64
 	Mbps         float64
 	Reports      int
+	// SnapshotsShed counts detections dropped under backpressure when the
+	// analyzer runs with a shedding worker pool (zero in inline mode).
+	SnapshotsShed uint64
 	// MaxReportDelay is the worst virtual-time delay between a fault
 	// message and its report (the paper observed <2 s).
 	MaxReportDelay time.Duration
 }
 
-// Drive pushes the stream through a GRETEL analyzer at full speed.
+// Drive pushes the stream through a GRETEL analyzer at full speed. If
+// the analyzer was configured with a detect worker pool
+// (Config.DetectWorkers > 0), detection runs in parallel with ingest;
+// Close drains the pipeline before the wall clock stops, so the
+// measured throughput includes finishing every report.
 func Drive(a *core.Analyzer, events []trace.Event) Result {
 	start := time.Now()
 	for i := range events {
 		a.Ingest(events[i])
 	}
-	a.Flush()
+	a.Close()
 	wall := time.Since(start)
 
 	var bytes uint64
@@ -192,10 +199,11 @@ func Drive(a *core.Analyzer, events []trace.Event) Result {
 		bytes += uint64(events[i].WireBytes)
 	}
 	res := Result{
-		Events:  len(events),
-		Bytes:   bytes,
-		Wall:    wall,
-		Reports: len(a.Reports()),
+		Events:        len(events),
+		Bytes:         bytes,
+		Wall:          wall,
+		Reports:       len(a.Reports()),
+		SnapshotsShed: a.Stats.SnapshotsShed,
 	}
 	if wall > 0 {
 		res.EventsPerSec = float64(len(events)) / wall.Seconds()

@@ -11,6 +11,9 @@
 package window
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"gretel/internal/trace"
 )
 
@@ -25,12 +28,60 @@ func Alpha(fpMax int, prate, t float64) int {
 	return 2 * int(m)
 }
 
+// snapBuf is one ring copy shared by every snapshot that fired on the
+// same push, refcounted so the last Release returns it to the window's
+// buffer pool.
+type snapBuf struct {
+	evs  []trace.Event // cap == alpha
+	refs atomic.Int32
+}
+
 // Snapshot is a frozen fault-centered message window.
 type Snapshot struct {
 	// Events holds the α messages around the fault, oldest first.
 	Events []trace.Event
 	// FaultIndex locates the offending message within Events.
 	FaultIndex int
+
+	// buf/pool back pooled snapshots (nil for literal snapshots).
+	buf  *snapBuf
+	pool *sync.Pool
+}
+
+// Release hands the snapshot's shared ring copy back to the window's
+// buffer pool once every consumer has released it. Call it when the
+// detector is done with the snapshot; the Events slice must not be used
+// afterwards. Safe (a no-op) on snapshots not backed by a pooled buffer.
+// Each consumer must release at most once; concurrent releases from
+// different detect workers are safe.
+func (s *Snapshot) Release() {
+	if s == nil || s.buf == nil {
+		return
+	}
+	buf, pool := s.buf, s.pool
+	s.buf, s.pool, s.Events = nil, nil, nil
+	if buf.refs.Add(-1) == 0 && pool != nil {
+		pool.Put(buf)
+	}
+}
+
+// ContextBounds returns the [lo, hi) range of Events within beta
+// messages centered on the fault (beta/2 on each side), clamped to the
+// snapshot bounds.
+func (s *Snapshot) ContextBounds(beta int) (lo, hi int) {
+	if beta <= 0 {
+		return 0, 0
+	}
+	half := beta / 2
+	lo = s.FaultIndex - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi = s.FaultIndex + half + 1
+	if hi > len(s.Events) {
+		hi = len(s.Events)
+	}
+	return lo, hi
 }
 
 // Context returns the events within beta messages centered on the fault
@@ -40,15 +91,7 @@ func (s *Snapshot) Context(beta int) []trace.Event {
 	if beta <= 0 {
 		return nil
 	}
-	half := beta / 2
-	lo := s.FaultIndex - half
-	if lo < 0 {
-		lo = 0
-	}
-	hi := s.FaultIndex + half + 1
-	if hi > len(s.Events) {
-		hi = len(s.Events)
-	}
+	lo, hi := s.ContextBounds(beta)
 	return s.Events[lo:hi]
 }
 
@@ -65,9 +108,11 @@ type pending struct {
 }
 
 // Dual is the dual-buffer receive window: a ring of the last α messages
-// plus armed freeze points waiting for their future half to fill. It is
-// not safe for concurrent use; the event receiver drives it from one
-// goroutine (§5.2: TCP delivery preserves order).
+// plus armed freeze points waiting for their future half to fill. Push,
+// Arm, and Flush are not safe for concurrent use; the event receiver
+// drives them from one goroutine (§5.2: TCP delivery preserves order).
+// Snapshot.Release alone may be called from other goroutines — detect
+// workers return ring copies to the pool when they finish.
 type Dual struct {
 	alpha int
 	ring  []trace.Event
@@ -75,6 +120,10 @@ type Dual struct {
 	start, size int
 	pushed      uint64
 	armed       []*pending
+	// pool recycles snapshot ring copies; Release may return buffers
+	// from concurrent detect workers, hence sync.Pool rather than a
+	// plain free list.
+	pool sync.Pool
 }
 
 // New returns a window of size alpha (minimum 2).
@@ -82,7 +131,9 @@ func New(alpha int) *Dual {
 	if alpha < 2 {
 		alpha = 2
 	}
-	return &Dual{alpha: alpha, ring: make([]trace.Event, alpha)}
+	w := &Dual{alpha: alpha, ring: make([]trace.Event, alpha)}
+	w.pool.New = func() any { return &snapBuf{evs: make([]trace.Event, alpha)} }
+	return w
 }
 
 // Alpha returns the configured window size.
@@ -110,16 +161,30 @@ func (w *Dual) Push(ev trace.Event) {
 		return
 	}
 	kept := w.armed[:0]
+	var ready []*pending
 	for _, p := range w.armed {
 		p.remaining--
 		if p.remaining > 0 {
 			kept = append(kept, p)
 			continue
 		}
-		snap := w.snapshotCentered()
-		p.onReady(snap)
+		ready = append(ready, p)
 	}
 	w.armed = kept
+	if len(ready) == 0 {
+		return
+	}
+	// Every pending firing on the same push freezes the identical
+	// window, so they all share one ring copy — and one Snapshot, with
+	// the reference count set to the number of consumers.
+	idx := w.size - 1 - w.alpha/2
+	if idx < 0 {
+		idx = 0
+	}
+	snap := w.sharedSnapshot(len(ready), idx)
+	for _, p := range ready {
+		p.onReady(snap)
+	}
 }
 
 // contents returns the window oldest-first as a fresh slice.
@@ -131,15 +196,23 @@ func (w *Dual) contents() []trace.Event {
 	return out
 }
 
-// snapshotCentered freezes the current window. The fault was the message
-// pushed α/2 messages ago, so it sits at index size-1-α/2 (clamped).
-func (w *Dual) snapshotCentered() *Snapshot {
-	evs := w.contents()
-	idx := w.size - 1 - w.alpha/2
-	if idx < 0 {
-		idx = 0
+// sharedCopy copies the window into a pooled buffer carrying the given
+// reference count.
+func (w *Dual) sharedCopy(refs int) *snapBuf {
+	buf := w.pool.Get().(*snapBuf)
+	buf.refs.Store(int32(refs))
+	evs := buf.evs[:w.size]
+	for i := 0; i < w.size; i++ {
+		evs[i] = w.ring[(w.start+i)%w.alpha]
 	}
-	return &Snapshot{Events: evs, FaultIndex: idx}
+	return buf
+}
+
+// sharedSnapshot freezes the current window into a pooled snapshot held
+// by refs consumers.
+func (w *Dual) sharedSnapshot(refs, faultIdx int) *Snapshot {
+	buf := w.sharedCopy(refs)
+	return &Snapshot{Events: buf.evs[:w.size], FaultIndex: faultIdx, buf: buf, pool: &w.pool}
 }
 
 // Arm registers a freeze point at the most recently pushed message (the
@@ -158,13 +231,19 @@ func (w *Dual) ArmedCount() int { return len(w.armed) }
 // currently holds — used at end of stream so trailing faults still get a
 // (possibly shorter) snapshot.
 func (w *Dual) Flush() {
-	for _, p := range w.armed {
-		evs := w.contents()
+	if len(w.armed) == 0 {
+		return
+	}
+	armed := w.armed
+	w.armed = nil
+	// One ring copy serves every armed pending; fault indexes differ, so
+	// each gets its own Snapshot over the shared buffer.
+	buf := w.sharedCopy(len(armed))
+	for _, p := range armed {
 		idx := w.size - 1 - (w.alpha/2 - p.remaining)
 		if idx < 0 {
 			idx = 0
 		}
-		p.onReady(&Snapshot{Events: evs, FaultIndex: idx})
+		p.onReady(&Snapshot{Events: buf.evs[:w.size], FaultIndex: idx, buf: buf, pool: &w.pool})
 	}
-	w.armed = nil
 }

@@ -209,3 +209,95 @@ func TestQuickWindowContents(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSamePushSharesOneSnapshot(t *testing.T) {
+	w := New(8)
+	for i := uint64(1); i <= 8; i++ {
+		w.Push(ev(i))
+	}
+	// Two faults armed on the same message fire on the same push and
+	// must share one Snapshot (one ring copy).
+	var got []*Snapshot
+	w.Arm(func(s *Snapshot) { got = append(got, s) })
+	w.Arm(func(s *Snapshot) { got = append(got, s) })
+	for i := uint64(9); i <= 12; i++ {
+		w.Push(ev(i))
+	}
+	if len(got) != 2 {
+		t.Fatalf("snapshots fired = %d, want 2", len(got))
+	}
+	if got[0] != got[1] {
+		t.Fatal("same-push snapshots not shared")
+	}
+	if got[0].buf == nil || got[0].buf.refs.Load() != 2 {
+		t.Fatalf("shared buffer refcount = %v, want 2", got[0].buf.refs.Load())
+	}
+}
+
+func TestFlushSharesOneCopy(t *testing.T) {
+	w := New(8)
+	for i := uint64(1); i <= 8; i++ {
+		w.Push(ev(i))
+	}
+	var got []*Snapshot
+	w.Arm(func(s *Snapshot) { got = append(got, s) })
+	w.Push(ev(9))
+	w.Push(ev(10))
+	w.Arm(func(s *Snapshot) { got = append(got, s) })
+	w.Flush()
+	if len(got) != 2 {
+		t.Fatalf("snapshots fired = %d, want 2", len(got))
+	}
+	// Distinct snapshots (fault indexes differ) over one shared buffer.
+	if got[0] == got[1] || got[0].buf != got[1].buf {
+		t.Fatal("flush snapshots should share one buffer via distinct Snapshots")
+	}
+	if &got[0].Events[0] != &got[1].Events[0] {
+		t.Fatal("flush snapshots do not share backing storage")
+	}
+	if got[0].FaultIndex == got[1].FaultIndex {
+		t.Fatal("fault indexes should differ")
+	}
+	if got[0].Events[got[0].FaultIndex].Seq != 8 || got[1].Events[got[1].FaultIndex].Seq != 10 {
+		t.Fatalf("fault seqs = %d, %d; want 8, 10",
+			got[0].Events[got[0].FaultIndex].Seq, got[1].Events[got[1].FaultIndex].Seq)
+	}
+}
+
+func TestReleaseRecyclesBuffer(t *testing.T) {
+	w := New(4)
+	fire := func() *Snapshot {
+		var snap *Snapshot
+		for i := uint64(1); i <= 4; i++ {
+			w.Push(ev(i))
+		}
+		w.Arm(func(s *Snapshot) { snap = s })
+		w.Push(ev(5))
+		w.Push(ev(6))
+		if snap == nil {
+			t.Fatal("snapshot never fired")
+		}
+		return snap
+	}
+	first := fire()
+	buf := first.buf
+	first.Release()
+	if first.Events != nil || first.buf != nil {
+		t.Fatal("Release did not clear the snapshot")
+	}
+	first.Release() // second release of the same consumer handle: no-op
+	second := fire()
+	if second.buf != buf {
+		t.Fatal("released buffer was not recycled")
+	}
+	// The recycled snapshot carries the fresh window, not stale events.
+	if second.Events[second.FaultIndex].Seq != 4 {
+		t.Fatalf("recycled snapshot fault seq = %d, want 4", second.Events[second.FaultIndex].Seq)
+	}
+
+	// Literal snapshots (no pooled buffer) tolerate Release.
+	lit := &Snapshot{Events: []trace.Event{ev(1)}, FaultIndex: 0}
+	lit.Release()
+	var nilSnap *Snapshot
+	nilSnap.Release()
+}
