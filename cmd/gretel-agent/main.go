@@ -35,16 +35,20 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("analyzer", "127.0.0.1:6166", "analyzer event listener address")
-		seed        = flag.Int64("seed", 1, "catalog and workload seed")
-		parallel    = flag.Int("parallel", 100, "concurrent tests to sustain")
-		nFaults     = flag.Int("faults", 4, "operational faults to inject")
-		duration    = flag.Duration("duration", 5*time.Minute, "simulated workload duration")
-		statePeriod = flag.Duration("state-period", 5*time.Second, "distributed-state reporting period (0 disables)")
-		scenarioF   = flag.String("scenario", "none", "case-study fault to stage: none, linuxbridge, diskfull, ntp")
-		perNode     = flag.Bool("per-node", false, "run one monitoring agent (and TCP stream) per deployment node, as the paper deploys Bro")
-		truth       = flag.Bool("truth", true, "decorate events with ground-truth operation ids")
-		telAddr     = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6168; empty disables)")
+		addr         = flag.String("analyzer", "127.0.0.1:6166", "analyzer event listener address")
+		seed         = flag.Int64("seed", 1, "catalog and workload seed")
+		parallel     = flag.Int("parallel", 100, "concurrent tests to sustain")
+		nFaults      = flag.Int("faults", 4, "operational faults to inject")
+		duration     = flag.Duration("duration", 5*time.Minute, "simulated workload duration")
+		statePeriod  = flag.Duration("state-period", 5*time.Second, "distributed-state reporting period (0 disables)")
+		scenarioF    = flag.String("scenario", "none", "case-study fault to stage: none, linuxbridge, diskfull, ntp")
+		perNode      = flag.Bool("per-node", false, "run one monitoring agent (and TCP stream) per deployment node, as the paper deploys Bro")
+		truth        = flag.Bool("truth", true, "decorate events with ground-truth operation ids")
+		telAddr      = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6168; empty disables)")
+		connTimeout  = flag.Duration("connect-timeout", 30*time.Second, "give up if the analyzer is unreachable for this long at startup (dialing is lazy: the agent may start first)")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "liveness heartbeat period per agent stream (negative disables)")
+		spool        = flag.Int("spool", 4096, "frames spooled in memory per stream while the analyzer is unreachable (oldest shed beyond this)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "wait this long at exit for spooled frames to flush")
 	)
 	flag.Parse()
 
@@ -79,8 +83,13 @@ func main() {
 	sent := 0
 	var parseErrors func() uint64
 	var senders []*agent.Sender
-	newSender := func() *agent.Sender {
-		snd, err := agent.Dial(*addr)
+	newSender := func(name string) *agent.Sender {
+		// Dialing is lazy: the agent may start before the analyzer and
+		// spools frames until it appears (bounded by -connect-timeout).
+		snd, err := agent.DialConfig(agent.SenderConfig{
+			Addr: *addr, Agent: name,
+			Ring: *spool, Heartbeat: *heartbeat, DrainTimeout: *drainTimeout,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,7 +100,7 @@ func main() {
 	if *perNode {
 		monitors := map[string]*agent.Monitor{}
 		for _, n := range d.Fabric.Nodes() {
-			snd := newSender()
+			snd := newSender(n.Name)
 			m := agent.NewMonitor(n.Name, func(ev trace.Event) {
 				snd.Send(ev)
 				sent++
@@ -119,7 +128,7 @@ func main() {
 		stateSender = senders[0]
 		log.Printf("running %d per-node agents", len(monitors))
 	} else {
-		snd := newSender()
+		snd := newSender("agent")
 		mon := agent.NewMonitor("agent", func(ev trace.Event) {
 			snd.Send(ev)
 			sent++
@@ -133,6 +142,15 @@ func main() {
 			snd.Close()
 		}
 	}()
+
+	// Bound startup ordering: all streams must reach the analyzer within
+	// the shared connect timeout, then spool through any later blips.
+	connectBy := time.Now().Add(*connTimeout)
+	for _, snd := range senders {
+		if err := snd.WaitConnected(time.Until(connectBy)); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	stageScenario(*scenarioF, d, plan)
 
@@ -175,8 +193,8 @@ func main() {
 	d.StopNoise()
 	d.Sim.Run()
 	for _, snd := range senders {
-		if err := snd.Flush(); err != nil {
-			log.Fatalf("flushing events: %v", err)
+		if err := snd.Drain(*drainTimeout); err != nil {
+			log.Fatalf("draining events: %v", err)
 		}
 	}
 	log.Printf("done: %d events + %d state updates streamed in %v wall time (parse errors: %d)",

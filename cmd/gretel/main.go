@@ -32,31 +32,34 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"gretel/internal/agent"
 	"gretel/internal/core"
 	"gretel/internal/fingerprint"
 	"gretel/internal/rca"
+	"gretel/internal/replay"
 	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":6166", "address to receive agent event streams on")
-		libPath  = flag.String("library", "", "fingerprint library JSON (from gretel-fingerprint)")
-		seed     = flag.Int64("seed", 1, "catalog seed used when -library is not given")
-		alpha    = flag.Int("alpha", 0, "sliding window size (0 = derive from FPmax/Prate/t)")
-		prate    = flag.Float64("prate", 150, "expected message rate (packets/s) for window sizing")
-		horizonT = flag.Float64("t", 1, "window time horizon t in seconds")
-		perf     = flag.Bool("perf", true, "enable performance-fault detection")
-		quiet    = flag.Bool("quiet", false, "suppress per-report output; print only the summary")
-		jsonOut  = flag.Bool("json", false, "emit reports as JSON lines instead of text")
-		telAddr  = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6167; empty disables)")
-		workers  = flag.Int("detect-workers", runtime.GOMAXPROCS(0), "detection worker pool size (0 = detect inline on the receive path)")
-		backlog  = flag.Int("detect-backlog", 0, "bounded detect queue capacity (0 = 4x workers)")
-		shed     = flag.Bool("detect-shed", false, "shed snapshots when the detect queue is full instead of applying backpressure")
+		listen    = flag.String("listen", ":6166", "address to receive agent event streams on")
+		libPath   = flag.String("library", "", "fingerprint library JSON (from gretel-fingerprint)")
+		seed      = flag.Int64("seed", 1, "catalog seed used when -library is not given")
+		alpha     = flag.Int("alpha", 0, "sliding window size (0 = derive from FPmax/Prate/t)")
+		prate     = flag.Float64("prate", 150, "expected message rate (packets/s) for window sizing")
+		horizonT  = flag.Float64("t", 1, "window time horizon t in seconds")
+		perf      = flag.Bool("perf", true, "enable performance-fault detection")
+		quiet     = flag.Bool("quiet", false, "suppress per-report output; print only the summary")
+		jsonOut   = flag.Bool("json", false, "emit reports as JSON lines instead of text")
+		telAddr   = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6167; empty disables)")
+		workers   = flag.Int("detect-workers", runtime.GOMAXPROCS(0), "detection worker pool size (0 = detect inline on the receive path)")
+		backlog   = flag.Int("detect-backlog", 0, "bounded detect queue capacity (0 = 4x workers)")
+		shed      = flag.Bool("detect-shed", false, "shed snapshots when the detect queue is full instead of applying backpressure")
+		downAfter = flag.Duration("down-after", 5*time.Second, "declare an agent down after this long without frames or heartbeats (0 disables liveness tracking)")
 	)
 	flag.Parse()
 
@@ -105,7 +108,7 @@ func main() {
 		}
 	}
 
-	recv, err := agent.Listen(*listen)
+	recv, err := agent.ListenConfig(agent.ReceiverConfig{Addr: *listen, DownAfter: *downAfter})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,17 +122,11 @@ func main() {
 		recv.Close()
 	}()
 
-	go func() {
-		for u := range recv.States() {
-			store.Apply(u)
-		}
-	}()
-
 	start := time.Now()
-	for ev := range recv.Events() {
-		analyzer.Ingest(ev)
-	}
-	analyzer.Close()
+	// Drain events, state updates, and monitoring-plane health records on
+	// one goroutine: gaps and dark agents degrade the analyzer gracefully
+	// instead of silently corrupting fingerprint matching.
+	res := replay.DriveTransport(analyzer, recv, store.Apply)
 
 	st := analyzer.Stats
 	elapsed := time.Since(start)
@@ -139,6 +136,10 @@ func main() {
 	fmt.Printf("pairs:     %d REST, %d RPC\n", st.RESTPairs, st.RPCPairs)
 	fmt.Printf("faults:    %d operational markers, %d latency alarms\n", st.Faults, st.PerfAlarms)
 	fmt.Printf("reports:   %d (%d with no matching fingerprint)\n", st.Reports, st.FalseNegs)
+	if res.Gaps > 0 {
+		fmt.Printf("gaps:      %d monitoring-plane gaps (%d frames lost, %d stale pairs flushed)\n",
+			res.Gaps, res.Missed, st.PairsFlushed)
+	}
 	if st.SnapshotsShed > 0 {
 		fmt.Printf("shed:      %d snapshots dropped under backpressure\n", st.SnapshotsShed)
 	}
@@ -189,5 +190,8 @@ func printReport(rep *core.Report) {
 	}
 	for _, rc := range rep.RootCauses {
 		fmt.Printf("  root cause: %s\n", rc)
+	}
+	if len(rep.DegradedNodes) > 0 {
+		fmt.Printf("  degraded confidence: monitoring gaps on %s\n", strings.Join(rep.DegradedNodes, ", "))
 	}
 }

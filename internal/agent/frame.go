@@ -1,0 +1,184 @@
+// Wire format v2: kind-tagged, length-prefixed JSON frames hardened for
+// a monitoring plane that must tolerate the faults it watches for. Every
+// frame opens with a two-byte magic so a receiver that loses alignment
+// can resynchronize by scanning instead of dropping the connection,
+// carries a per-agent sequence number so replayed frames deduplicate and
+// losses surface as explicit gap records, and closes the header with a
+// CRC32 over header+body so a corrupt frame is skipped, not trusted.
+//
+//	offset size
+//	0      2    magic 0xF5 0x9E
+//	2      1    kind ('I' hello, 'E' event, 'S' state, 'H' heartbeat)
+//	3      8    sequence number, big-endian (0 = unsequenced)
+//	11     4    body length, big-endian
+//	15     4    CRC32 (IEEE) over bytes [2,15) and the body
+//	19     n    JSON body
+
+package agent
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"gretel/internal/trace"
+)
+
+// MaxFrame bounds a single encoded frame (defense against corrupt
+// length prefixes).
+const MaxFrame = 1 << 22
+
+const (
+	frameMagic0 = 0xF5
+	frameMagic1 = 0x9E
+	frameHdrLen = 19
+)
+
+// Frame kinds on the wire.
+const (
+	frameHello     byte = 'I' // per-connection agent identification
+	frameEvent     byte = 'E'
+	frameState     byte = 'S'
+	frameHeartbeat byte = 'H' // liveness + sequence high-water mark
+)
+
+func validKind(k byte) bool {
+	switch k {
+	case frameHello, frameEvent, frameState, frameHeartbeat:
+		return true
+	}
+	return false
+}
+
+// helloBody identifies the sending agent on a fresh connection, keying
+// the receiver's sequence tracking across reconnects.
+type helloBody struct {
+	Agent string `json:"agent"`
+}
+
+// heartbeatBody rides in liveness frames. The frame's sequence number is
+// the sender's high-water mark: every payload frame at or below it has
+// already been written ahead of the heartbeat on this connection, so a
+// receiver behind that mark has a proven gap.
+type heartbeatBody struct {
+	Agent string `json:"agent"`
+	Shed  uint64 `json:"shed,omitempty"`
+}
+
+// encodeFrame builds one complete wire frame.
+func encodeFrame(kind byte, seq uint64, body []byte) []byte {
+	fr := make([]byte, frameHdrLen+len(body))
+	fr[0] = frameMagic0
+	fr[1] = frameMagic1
+	fr[2] = kind
+	binary.BigEndian.PutUint64(fr[3:], seq)
+	binary.BigEndian.PutUint32(fr[11:], uint32(len(body)))
+	copy(fr[frameHdrLen:], body)
+	crc := crc32.ChecksumIEEE(fr[2:15])
+	crc = crc32.Update(crc, crc32.IEEETable, fr[frameHdrLen:])
+	binary.BigEndian.PutUint32(fr[15:], crc)
+	return fr
+}
+
+func writeFrame(w io.Writer, kind byte, seq uint64, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("agent: encoding frame: %w", err)
+	}
+	_, err = w.Write(encodeFrame(kind, seq, body))
+	return err
+}
+
+// readFrame reads the next valid frame, resynchronizing on corruption:
+// a bad magic, unknown kind, or implausible length advances the scan by
+// one byte; a CRC mismatch skips the frame. skipped reports the bytes
+// discarded before the returned frame (0 on a healthy stream). Errors
+// are only I/O-level (EOF, deadline): corruption never surfaces as an
+// error, so one mangled frame cannot tear down a connection.
+func readFrame(br *bufio.Reader) (kind byte, seq uint64, body []byte, skipped int, err error) {
+	for {
+		b0, err := br.ReadByte()
+		if err != nil {
+			return 0, 0, nil, skipped, err
+		}
+		if b0 != frameMagic0 {
+			skipped++
+			continue
+		}
+		// Candidate header: peek the rest so a false positive costs one
+		// byte of scan, not a consumed prefix.
+		hdr, err := br.Peek(frameHdrLen - 1)
+		if err != nil {
+			if len(hdr) == 0 || hdr[0] != frameMagic1 {
+				skipped++
+				continue
+			}
+			return 0, 0, nil, skipped, err
+		}
+		if hdr[0] != frameMagic1 {
+			skipped++
+			continue
+		}
+		kind = hdr[1]
+		n := binary.BigEndian.Uint32(hdr[10:14])
+		if !validKind(kind) || n > MaxFrame {
+			skipped++
+			continue
+		}
+		seq = binary.BigEndian.Uint64(hdr[2:10])
+		want := binary.BigEndian.Uint32(hdr[14:18])
+		crc := crc32.ChecksumIEEE(hdr[1:14])
+		if _, err := br.Discard(frameHdrLen - 1); err != nil {
+			return 0, 0, nil, skipped, err
+		}
+		body = make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return 0, 0, nil, skipped, err
+		}
+		if crc32.Update(crc, crc32.IEEETable, body) != want {
+			// Corrupt frame (or a false-positive magic inside corrupted
+			// bytes): skip it and keep scanning. If the length field
+			// itself was corrupted we are now misaligned, and the next
+			// magic check resynchronizes.
+			mCRCErrors.Inc()
+			skipped += frameHdrLen + len(body)
+			continue
+		}
+		return kind, seq, body, skipped, nil
+	}
+}
+
+// WriteEvent encodes one unsequenced event frame (test and
+// single-purpose producers; the Sender assigns sequence numbers).
+func WriteEvent(w io.Writer, ev *trace.Event) error {
+	return writeFrame(w, frameEvent, 0, ev)
+}
+
+// WriteState encodes one unsequenced state-update frame.
+func WriteState(w io.Writer, u *StateUpdate) error {
+	return writeFrame(w, frameState, 0, u)
+}
+
+// ReadEvent decodes one frame, which must be an event frame (test and
+// single-purpose consumers; the Receiver handles mixed streams).
+func ReadEvent(r io.Reader) (trace.Event, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	kind, _, body, _, err := readFrame(br)
+	if err != nil {
+		return trace.Event{}, err
+	}
+	if kind != frameEvent {
+		return trace.Event{}, fmt.Errorf("agent: expected event frame, got %q", kind)
+	}
+	var ev trace.Event
+	if err := json.Unmarshal(body, &ev); err != nil {
+		return trace.Event{}, fmt.Errorf("agent: decoding event: %w", err)
+	}
+	return ev, nil
+}

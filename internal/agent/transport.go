@@ -1,236 +1,617 @@
 // TCP transport: the Broccoli analogue (§6) carrying parsed events and
 // periodic distributed-state updates (collectd snapshots + watcher
 // status) from node agents to the analyzer service as kind-tagged,
-// length-prefixed JSON frames. TCP preserves per-agent ordering, which
-// the event receiver relies on (§5.2).
+// length-prefixed JSON frames (frame.go). TCP preserves per-agent
+// ordering, which the event receiver relies on (§5.2).
+//
+// The plane is self-healing: the sender spools frames into a bounded
+// in-memory ring and a background loop redials with exponential backoff,
+// replaying the ring on reconnect so a broker/analyzer blip loses
+// nothing up to the ring bound (overflow is shed oldest-first and
+// counted). The receiver deduplicates replayed frames by per-agent
+// sequence number, records explicit gap records for frames that never
+// arrived, skips corrupt frames via CRC + magic resync instead of
+// dropping the connection, and declares agents down when heartbeats
+// stop — all surfaced on the Health channel so the analyzer can degrade
+// gracefully (core.Analyzer.NodeGap).
 
 package agent
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gretel/internal/telemetry"
 	"gretel/internal/trace"
 )
 
-// Transport telemetry. frames_dropped counts events/states discarded on
-// a sender whose connection already failed (sticky error);
-// connections_dropped counts receiver-side streams abandoned on framing
-// or decode errors — the failure path that used to be a bare return.
+// Transport telemetry. frames_shed counts spool-ring overflow on a
+// disconnected sender (the only sender-side loss); frames_missed is the
+// receiver-side count of sequence numbers that never arrived (the
+// ground truth for "zero silent loss": delivered + missed = assigned).
 var (
-	mFramesSent    = telemetry.GetCounter("transport.frames_sent")
-	mFramesRecv    = telemetry.GetCounter("transport.frames_received")
-	mFramesDropped = telemetry.GetCounter("transport.frames_dropped")
-	mReconnects    = telemetry.GetCounter("transport.reconnects")
-	mConnsDropped  = telemetry.GetCounter("transport.connections_dropped")
-	mDecodeErrors  = telemetry.GetCounter("transport.decode_errors")
-	mActiveConns   = telemetry.GetGauge("transport.active_connections")
+	mFramesSent     = telemetry.GetCounter("transport.frames_sent")
+	mFramesReplayed = telemetry.GetCounter("transport.frames_replayed")
+	mFramesRecv     = telemetry.GetCounter("transport.frames_received")
+	mFramesDropped  = telemetry.GetCounter("transport.frames_dropped")
+	mFramesShed     = telemetry.GetCounter("transport.frames_shed")
+	mFramesDup      = telemetry.GetCounter("transport.frames_dup")
+	mFramesMissed   = telemetry.GetCounter("transport.frames_missed")
+	mGaps           = telemetry.GetCounter("transport.gaps")
+	mReconnects     = telemetry.GetCounter("transport.reconnects")
+	mConnsDropped   = telemetry.GetCounter("transport.connections_dropped")
+	mDecodeErrors   = telemetry.GetCounter("transport.decode_errors")
+	mCRCErrors      = telemetry.GetCounter("transport.crc_errors")
+	mResyncs        = telemetry.GetCounter("transport.resyncs")
+	mBytesSkipped   = telemetry.GetCounter("transport.bytes_skipped")
+	mHeartbeats     = telemetry.GetCounter("transport.heartbeats")
+	mAgentDown      = telemetry.GetCounter("transport.agent_down")
+	mAgentUp        = telemetry.GetCounter("transport.agent_up")
+	mHealthDropped  = telemetry.GetCounter("transport.health_dropped")
+	mActiveConns    = telemetry.GetGauge("transport.active_connections")
 )
 
-// MaxFrame bounds a single encoded frame (defense against corrupt
-// length prefixes).
-const MaxFrame = 1 << 22
+// SenderConfig tunes the resilient sender. The zero value (plus Addr)
+// is production-ready; tests tighten the timers.
+type SenderConfig struct {
+	// Addr is the analyzer's event listener address.
+	Addr string
+	// Agent names this agent in hello/heartbeat frames; the receiver
+	// keys sequence tracking and liveness by it. Default "agent".
+	Agent string
+	// Ring bounds the in-memory spill ring in frames (default 4096).
+	// The ring retains recent frames even after they are written, so a
+	// reconnect can replay everything a dying connection may have lost.
+	Ring int
+	// DialTimeout bounds one dial attempt (default 3s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-write deadline (default 10s); a stalled
+	// analyzer surfaces as a write error and triggers a redial.
+	WriteTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential redial backoff
+	// (defaults 50ms and 3s); each delay adds seeded jitter.
+	BackoffMin, BackoffMax time.Duration
+	// Heartbeat is the liveness frame period (default 1s, negative
+	// disables). Heartbeats carry the sender's sequence high-water mark
+	// so the receiver can detect shed frames even on an idle stream.
+	Heartbeat time.Duration
+	// DrainTimeout bounds Close's final flush (default 2s).
+	DrainTimeout time.Duration
+	// Seed drives backoff jitter (default 1).
+	Seed int64
+	// Dialer overrides the TCP dial (tests, chaos injection).
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+}
 
-// Frame kinds on the wire.
-const (
-	frameEvent byte = 'E'
-	frameState byte = 'S'
-)
+func (c *SenderConfig) defaults() {
+	if c.Agent == "" {
+		c.Agent = "agent"
+	}
+	if c.Ring <= 0 {
+		c.Ring = 4096
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 3 * time.Second
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Dialer == nil {
+		c.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+}
 
-func writeFrame(w io.Writer, kind byte, v any) error {
+// wireFrame is one encoded frame retained in the spill ring.
+type wireFrame struct {
+	seq  uint64
+	data []byte
+}
+
+// SenderStats is a point-in-time view of the sender's sequence space.
+type SenderStats struct {
+	// Assigned is the highest sequence number handed out.
+	Assigned uint64
+	// Flushed is the highest sequence number written and flushed to a
+	// socket at least once (delivery is confirmed only by the receiver).
+	Flushed uint64
+	// Shed counts frames evicted from the ring before they were ever
+	// written — the sender's only deliberate loss, taken oldest-first
+	// when a disconnection outlasts the ring.
+	Shed uint64
+}
+
+// Sender streams events to the analyzer, surviving analyzer restarts
+// and network faults. Send and SendState never block and never fail:
+// frames enter a bounded ring drained by a background writer that
+// redials with backoff and replays the ring after every reconnect.
+// Safe for concurrent use.
+type Sender struct {
+	cfg SenderConfig
+
+	mu      sync.Mutex
+	ring    []wireFrame
+	head, n int    // circular: ring[head..head+n) holds contiguous seqs
+	nextSeq uint64 // last assigned sequence number
+	cursor  uint64 // next seq to write on the current connection
+	maxSent uint64 // highest seq ever written (replay detection)
+	flushed uint64 // highest seq flushed to a socket
+	shed    uint64
+	lastErr error
+	closed  bool
+
+	kick      chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	connected atomic.Bool
+	firstConn chan struct{}
+	connOnce  sync.Once
+}
+
+// Dial starts a sender for the analyzer's event listener with default
+// configuration. Dialing is lazy: the sender is usable immediately and
+// connects (and keeps reconnecting) in the background — use
+// WaitConnected to bound startup ordering.
+func Dial(addr string) (*Sender, error) {
+	return DialConfig(SenderConfig{Addr: addr})
+}
+
+// DialConfig starts a sender with explicit configuration.
+func DialConfig(cfg SenderConfig) (*Sender, error) {
+	cfg.defaults()
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("agent: sender needs an address")
+	}
+	s := &Sender{
+		cfg:       cfg,
+		ring:      make([]wireFrame, cfg.Ring),
+		cursor:    1,
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		firstConn: make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+// WaitConnected blocks until the sender establishes its first
+// connection, or the timeout passes.
+func (s *Sender) WaitConnected(timeout time.Duration) error {
+	select {
+	case <-s.firstConn:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("agent: no connection to %s within %v: %v", s.cfg.Addr, timeout, s.err())
+	}
+}
+
+// Connected reports whether a connection is currently established.
+func (s *Sender) Connected() bool { return s.connected.Load() }
+
+// Stats returns a snapshot of the sequence space.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SenderStats{Assigned: s.nextSeq, Flushed: s.flushed, Shed: s.shed}
+}
+
+func (s *Sender) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+func (s *Sender) setErr(err error) {
+	s.mu.Lock()
+	s.lastErr = err
+	s.mu.Unlock()
+}
+
+// Send spools one event. It never blocks and never fails; if the ring
+// is full the oldest unsent frame is shed and counted.
+func (s *Sender) Send(ev trace.Event) { s.enqueue(frameEvent, &ev) }
+
+// SendState spools one state update.
+func (s *Sender) SendState(u StateUpdate) { s.enqueue(frameState, &u) }
+
+func (s *Sender) enqueue(kind byte, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("agent: encoding frame: %w", err)
+		mFramesDropped.Inc()
+		telemetry.LogFirst("transport.encode", "agent: encoding frame: %v; dropping", err)
+		return
 	}
-	var hdr [5]byte
-	hdr[0] = kind
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		mFramesDropped.Inc()
+		return
+	}
+	s.nextSeq++
+	fr := wireFrame{seq: s.nextSeq, data: encodeFrame(kind, s.nextSeq, body)}
+	if s.n == len(s.ring) {
+		old := s.ring[s.head]
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+		if old.seq >= s.cursor {
+			// Evicted before it was ever written: deliberate, counted
+			// loss. The receiver will see the sequence gap too.
+			s.shed++
+			s.cursor = old.seq + 1
+			mFramesShed.Inc()
+			telemetry.LogFirst("transport.shed",
+				"agent: spill ring full (%d frames) while disconnected from %s; shedding oldest", len(s.ring), s.cfg.Addr)
+		}
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = fr
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// takeFrame hands the writer the next unwritten frame, if any.
+func (s *Sender) takeFrame() (wireFrame, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return wireFrame{}, false
+	}
+	oldest := s.ring[s.head].seq
+	if s.cursor < oldest {
+		s.cursor = oldest
+	}
+	if s.cursor > s.nextSeq {
+		return wireFrame{}, false
+	}
+	fr := s.ring[(s.head+int(s.cursor-oldest))%len(s.ring)]
+	s.cursor++
+	return fr, true
+}
+
+// rewind points the write cursor at the oldest retained frame — called
+// on every reconnect so frames a dying connection may have swallowed
+// are replayed (the receiver deduplicates by sequence number).
+func (s *Sender) rewind() {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.cursor = s.ring[s.head].seq
+	} else {
+		s.cursor = s.nextSeq + 1
+	}
+	s.mu.Unlock()
+}
+
+// noteWritten updates sent/replayed accounting after a frame write.
+func (s *Sender) noteWritten(seq uint64) {
+	s.mu.Lock()
+	if seq <= s.maxSent {
+		mFramesReplayed.Inc()
+	} else {
+		s.maxSent = seq
+		mFramesSent.Inc()
+	}
+	s.mu.Unlock()
+}
+
+// noteFlushed records that everything written so far reached the socket.
+func (s *Sender) noteFlushed() {
+	s.mu.Lock()
+	if w := s.cursor - 1; w > s.flushed {
+		s.flushed = w
+	}
+	s.mu.Unlock()
+}
+
+// errSenderStopped signals an orderly stop through the writer loop.
+var errSenderStopped = fmt.Errorf("agent: sender stopped")
+
+// run is the background writer: dial with backoff, stream the ring,
+// redial on error. One goroutine per sender.
+func (s *Sender) run() {
+	defer close(s.done)
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	first := true
+	for {
+		conn := s.dialLoop(rng)
+		if conn == nil {
+			return
+		}
+		if !first {
+			mReconnects.Inc()
+		}
+		first = false
+		s.connOnce.Do(func() { close(s.firstConn) })
+		s.connected.Store(true)
+		err := s.stream(conn)
+		s.connected.Store(false)
+		conn.Close()
+		if err == errSenderStopped {
+			return
+		}
+		s.setErr(err)
+		telemetry.LogFirst("transport.send",
+			"agent: connection to %s failed: %v; spooling and redialing", s.cfg.Addr, err)
+	}
+}
+
+// dialLoop dials until it succeeds or the sender stops, backing off
+// exponentially with jitter between attempts.
+func (s *Sender) dialLoop(rng *rand.Rand) net.Conn {
+	backoff := s.cfg.BackoffMin
+	for {
+		select {
+		case <-s.stop:
+			return nil
+		default:
+		}
+		conn, err := s.cfg.Dialer(s.cfg.Addr, s.cfg.DialTimeout)
+		if err == nil {
+			return conn
+		}
+		s.setErr(err)
+		telemetry.LogFirst("transport.dial",
+			"agent: dialing %s: %v; retrying with backoff", s.cfg.Addr, err)
+		delay := backoff + time.Duration(rng.Int63n(int64(backoff)+1))
+		select {
+		case <-s.stop:
+			return nil
+		case <-time.After(delay):
+		}
+		if backoff *= 2; backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+	}
+}
+
+// stream drives one connection: hello, ring replay, live frames, and
+// idle heartbeats, until a write fails or the sender stops.
+func (s *Sender) stream(conn net.Conn) error {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	write := func(frame []byte) error {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		_, err := bw.Write(frame)
 		return err
 	}
-	_, err = w.Write(body)
+	hello, _ := json.Marshal(helloBody{Agent: s.cfg.Agent})
+	if err := write(encodeFrame(frameHello, 0, hello)); err != nil {
+		return err
+	}
+	s.rewind()
+
+	var hbC <-chan time.Time
+	if s.cfg.Heartbeat > 0 {
+		t := time.NewTicker(s.cfg.Heartbeat)
+		defer t.Stop()
+		hbC = t.C
+	}
+	for {
+		if fr, ok := s.takeFrame(); ok {
+			if err := write(fr.data); err != nil {
+				return err
+			}
+			s.noteWritten(fr.seq)
+			continue
+		}
+		// Drained: push buffered frames out before waiting.
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		s.noteFlushed()
+		select {
+		case <-s.kick:
+		case <-hbC:
+			s.mu.Lock()
+			seq, shed := s.nextSeq, s.shed
+			drained := s.cursor > s.nextSeq || s.n == 0
+			s.mu.Unlock()
+			if !drained {
+				continue // frames are flowing; they carry liveness
+			}
+			body, _ := json.Marshal(heartbeatBody{Agent: s.cfg.Agent, Shed: shed})
+			if err := write(encodeFrame(frameHeartbeat, seq, body)); err != nil {
+				return err
+			}
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			mHeartbeats.Inc()
+		case <-s.stop:
+			bw.Flush()
+			return errSenderStopped
+		}
+	}
+}
+
+// Drain blocks until every frame spooled so far has been written and
+// flushed to a socket at least once, or the timeout passes (e.g. the
+// analyzer is unreachable and frames are still spooled).
+func (s *Sender) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	target := s.nextSeq
+	s.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		flushed, shed := s.flushed, s.shed
+		s.mu.Unlock()
+		// Shed frames can never flush; they are accounted, not awaited.
+		if flushed+shed >= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("agent: drain timed out with %d frames unflushed (analyzer %s unreachable?)",
+				target-flushed, s.cfg.Addr)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close drains spooled frames (bounded by DrainTimeout), stops the
+// writer, and returns the drain error if the flush was incomplete.
+func (s *Sender) Close() error {
+	err := s.Drain(s.cfg.DrainTimeout)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
 	return err
 }
 
-func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+// HealthKind classifies a monitoring-plane health record.
+type HealthKind uint8
+
+const (
+	// HealthGap records frames lost for an agent (Missing counts them).
+	HealthGap HealthKind = iota + 1
+	// HealthDown marks an agent that stopped heartbeating.
+	HealthDown
+	// HealthUp marks an agent that resumed after being down.
+	HealthUp
+)
+
+// String implements fmt.Stringer.
+func (k HealthKind) String() string {
+	switch k {
+	case HealthGap:
+		return "gap"
+	case HealthDown:
+		return "down"
+	case HealthUp:
+		return "up"
+	default:
+		return "unknown"
 	}
-	kind := hdr[0]
-	if kind != frameEvent && kind != frameState {
-		return 0, nil, fmt.Errorf("agent: unknown frame kind %q", kind)
-	}
-	n := binary.BigEndian.Uint32(hdr[1:])
-	if n > MaxFrame {
-		return 0, nil, fmt.Errorf("agent: frame of %d bytes exceeds limit", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, err
-	}
-	return kind, body, nil
 }
 
-// WriteEvent encodes one event frame.
-func WriteEvent(w io.Writer, ev *trace.Event) error {
-	return writeFrame(w, frameEvent, ev)
+// Health is one monitoring-plane health record: an explicit gap in an
+// agent's frame sequence, or a liveness transition.
+type Health struct {
+	Kind    HealthKind
+	Agent   string
+	Missing uint64
+	At      time.Time
 }
 
-// WriteState encodes one state-update frame.
-func WriteState(w io.Writer, u *StateUpdate) error {
-	return writeFrame(w, frameState, u)
+// AgentStat is the receiver's view of one agent's stream.
+type AgentStat struct {
+	// LastSeq is the sequence high-water mark seen (frames or
+	// heartbeat marks).
+	LastSeq uint64
+	// Missing counts sequence numbers that never arrived — every one
+	// was surfaced as a HealthGap record.
+	Missing uint64
+	// Dups counts replayed frames deduplicated after reconnects.
+	Dups uint64
+	// Down reports whether the agent is currently declared down.
+	Down bool
 }
 
-// ReadEvent decodes one frame, which must be an event frame (test and
-// single-purpose consumers; the Receiver handles mixed streams).
-func ReadEvent(r io.Reader) (trace.Event, error) {
-	kind, body, err := readFrame(r)
-	if err != nil {
-		return trace.Event{}, err
-	}
-	if kind != frameEvent {
-		return trace.Event{}, fmt.Errorf("agent: expected event frame, got %q", kind)
-	}
-	var ev trace.Event
-	if err := json.Unmarshal(body, &ev); err != nil {
-		return trace.Event{}, fmt.Errorf("agent: decoding event: %w", err)
-	}
-	return ev, nil
+// agentState tracks one agent across connections.
+type agentState struct {
+	lastSeq  uint64
+	missing  uint64
+	dups     uint64
+	lastSeen time.Time
+	down     bool
 }
 
-// Sender streams events to the analyzer over one TCP connection. Its Send
-// method is safe for concurrent use and satisfies the Sink signature.
-type Sender struct {
-	mu   sync.Mutex
-	addr string
-	conn net.Conn
-	bw   *bufio.Writer
-	err  error
-}
-
-// Dial connects a sender to the analyzer's event listener.
-func Dial(addr string) (*Sender, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("agent: dialing analyzer: %w", err)
-	}
-	return &Sender{addr: addr, conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}, nil
-}
-
-// Reconnect re-dials the analyzer and clears the sticky error so
-// subsequent Sends flow again. A no-op when the sender is healthy.
-func (s *Sender) Reconnect() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err == nil {
-		return nil
-	}
-	conn, err := net.Dial("tcp", s.addr)
-	if err != nil {
-		return fmt.Errorf("agent: reconnecting to analyzer: %w", err)
-	}
-	s.conn.Close()
-	s.conn = conn
-	s.bw = bufio.NewWriterSize(conn, 64<<10)
-	s.err = nil
-	mReconnects.Inc()
-	return nil
-}
-
-// Send writes one event; errors are sticky and reported by Close.
-func (s *Sender) Send(ev trace.Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		mFramesDropped.Inc()
-		return
-	}
-	if s.err = WriteEvent(s.bw, &ev); s.err != nil {
-		s.failLocked()
-		return
-	}
-	mFramesSent.Inc()
-}
-
-// SendState writes one state update; errors are sticky.
-func (s *Sender) SendState(u StateUpdate) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		mFramesDropped.Inc()
-		return
-	}
-	if s.err = WriteState(s.bw, &u); s.err != nil {
-		s.failLocked()
-		return
-	}
-	mFramesSent.Inc()
-}
-
-// failLocked counts the frame lost to a fresh transport error and logs
-// the first occurrence; the caller holds s.mu and has set s.err.
-func (s *Sender) failLocked() {
-	mFramesDropped.Inc()
-	telemetry.LogFirst("transport.send", "agent: send to %s failed: %v; dropping frames until Reconnect", s.addr, s.err)
-}
-
-// Flush pushes buffered frames to the socket.
-func (s *Sender) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return s.err
-	}
-	return s.bw.Flush()
-}
-
-// Close flushes and closes the connection, returning the first error
-// encountered during the sender's lifetime.
-func (s *Sender) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.bw != nil {
-		if err := s.bw.Flush(); err != nil && s.err == nil {
-			s.err = err
-		}
-	}
-	if cerr := s.conn.Close(); cerr != nil && s.err == nil {
-		s.err = cerr
-	}
-	return s.err
+// ReceiverConfig tunes the hardened receiver.
+type ReceiverConfig struct {
+	// Addr is the listen address (e.g. ":6166").
+	Addr string
+	// DownAfter declares an agent down when no frame (heartbeats
+	// included) arrives for this long. 0 disables liveness tracking.
+	DownAfter time.Duration
+	// ReadTimeout is the per-frame read deadline (default 30s, negative
+	// disables). It bounds how long a corrupt length prefix can stall a
+	// connection: the read times out, the connection drops, and the
+	// sender replays through a fresh one.
+	ReadTimeout time.Duration
 }
 
 // Receiver accepts agent connections and forwards their events, in
-// per-connection arrival order, to a single handler goroutine.
+// per-connection arrival order, to a single handler goroutine. Corrupt
+// frames are skipped via CRC + resync, replayed frames are
+// deduplicated per agent, and losses surface as Health records rather
+// than silence.
 type Receiver struct {
 	ln      net.Listener
+	cfg     ReceiverConfig
 	events  chan trace.Event
 	states  chan StateUpdate
+	health  chan Health
 	wg      sync.WaitGroup
 	closing chan struct{}
+
+	mu     sync.Mutex
+	agents map[string]*agentState
 }
 
-// Listen starts a receiver on addr (e.g. ":6166").
+// Listen starts a receiver on addr with default configuration (no
+// liveness tracking).
 func Listen(addr string) (*Receiver, error) {
-	ln, err := net.Listen("tcp", addr)
+	return ListenConfig(ReceiverConfig{Addr: addr})
+}
+
+// ListenConfig starts a receiver with explicit configuration.
+func ListenConfig(cfg ReceiverConfig) (*Receiver, error) {
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("agent: listening on %s: %w", addr, err)
+		return nil, fmt.Errorf("agent: listening on %s: %w", cfg.Addr, err)
 	}
 	r := &Receiver{
 		ln:      ln,
+		cfg:     cfg,
 		events:  make(chan trace.Event, 4096),
 		states:  make(chan StateUpdate, 64),
+		health:  make(chan Health, 256),
 		closing: make(chan struct{}),
+		agents:  make(map[string]*agentState),
 	}
 	r.wg.Add(1)
 	go r.acceptLoop()
+	if cfg.DownAfter > 0 {
+		r.wg.Add(1)
+		go r.liveness()
+	}
 	return r, nil
 }
 
@@ -244,6 +625,22 @@ func (r *Receiver) Events() <-chan trace.Event { return r.events }
 // States is the merged state-update stream. It closes with the receiver.
 func (r *Receiver) States() <-chan StateUpdate { return r.states }
 
+// Health is the stream of gap and liveness records. It closes with the
+// receiver; if nobody consumes it, records are dropped (and counted)
+// rather than blocking ingest — totals stay available via AgentStats.
+func (r *Receiver) Health() <-chan Health { return r.health }
+
+// AgentStats snapshots per-agent stream accounting.
+func (r *Receiver) AgentStats() map[string]AgentStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]AgentStat, len(r.agents))
+	for name, st := range r.agents {
+		out[name] = AgentStat{LastSeq: st.lastSeq, Missing: st.missing, Dups: st.dups, Down: st.down}
+	}
+	return out
+}
+
 func (r *Receiver) acceptLoop() {
 	defer r.wg.Done()
 	for {
@@ -256,18 +653,133 @@ func (r *Receiver) acceptLoop() {
 	}
 }
 
+// state returns the tracker for an agent; r.mu must be held.
+func (r *Receiver) state(agent string) *agentState {
+	st := r.agents[agent]
+	if st == nil {
+		st = &agentState{}
+		r.agents[agent] = st
+	}
+	return st
+}
+
+// emit delivers a health record without ever blocking ingest.
+func (r *Receiver) emit(h Health) {
+	select {
+	case r.health <- h:
+	default:
+		mHealthDropped.Inc()
+	}
+}
+
+// touchLocked refreshes liveness and flips a down agent back up; r.mu
+// must be held.
+func (r *Receiver) touchLocked(st *agentState, agent string, now time.Time) {
+	st.lastSeen = now
+	if st.down {
+		st.down = false
+		mAgentUp.Inc()
+		r.emit(Health{Kind: HealthUp, Agent: agent, At: now})
+	}
+}
+
+// admit applies per-agent sequence tracking to a payload frame:
+// duplicates (replays already seen) are rejected, gaps are recorded and
+// surfaced. Unsequenced frames (seq 0) always pass.
+func (r *Receiver) admit(agent string, seq uint64) bool {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(agent)
+	r.touchLocked(st, agent, now)
+	if seq == 0 {
+		return true
+	}
+	if seq <= st.lastSeq {
+		st.dups++
+		mFramesDup.Inc()
+		return false
+	}
+	if miss := seq - st.lastSeq - 1; miss > 0 {
+		st.missing += miss
+		mGaps.Inc()
+		mFramesMissed.Add(miss)
+		r.emit(Health{Kind: HealthGap, Agent: agent, Missing: miss, At: now})
+	}
+	st.lastSeq = seq
+	return true
+}
+
+// noteHeartbeat folds a liveness frame in: the heartbeat's sequence is
+// the sender's high-water mark, so a receiver behind it has lost frames
+// that will never be replayed on this connection — an explicit gap.
+func (r *Receiver) noteHeartbeat(agent string, seq uint64) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(agent)
+	r.touchLocked(st, agent, now)
+	if seq > st.lastSeq {
+		miss := seq - st.lastSeq
+		st.lastSeq = seq
+		st.missing += miss
+		mGaps.Inc()
+		mFramesMissed.Add(miss)
+		r.emit(Health{Kind: HealthGap, Agent: agent, Missing: miss, At: now})
+	}
+}
+
+// liveness declares agents down when their frames stop.
+func (r *Receiver) liveness() {
+	defer r.wg.Done()
+	period := r.cfg.DownAfter / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.closing:
+			return
+		case <-tick.C:
+			now := time.Now()
+			r.mu.Lock()
+			for name, st := range r.agents {
+				if !st.down && now.Sub(st.lastSeen) > r.cfg.DownAfter {
+					st.down = true
+					mAgentDown.Inc()
+					telemetry.LogFirst("transport.down",
+						"agent: %s went dark (no frames for %v)", name, r.cfg.DownAfter)
+					r.emit(Health{Kind: HealthDown, Agent: name, At: now})
+				}
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
 func (r *Receiver) serve(conn net.Conn) {
 	defer r.wg.Done()
 	defer conn.Close()
 	mActiveConns.Add(1)
 	defer mActiveConns.Add(-1)
 	br := bufio.NewReaderSize(conn, 64<<10)
+	// Until a hello identifies the agent, track by remote address.
+	agent := "conn:" + conn.RemoteAddr().String()
 	for {
-		kind, body, err := readFrame(br)
+		if rt := r.cfg.ReadTimeout; rt > 0 {
+			conn.SetReadDeadline(time.Now().Add(rt))
+		}
+		kind, seq, body, skipped, err := readFrame(br)
+		if skipped > 0 {
+			mResyncs.Inc()
+			mBytesSkipped.Add(uint64(skipped))
+			telemetry.LogFirst("transport.resync",
+				"agent: corrupt bytes from %s (%s): skipped %d resynchronizing", conn.RemoteAddr(), agent, skipped)
+		}
 		if err != nil {
 			if err != io.EOF {
-				// Mid-frame truncation or a corrupt header: the stream is
-				// unrecoverable, but the loss must not be silent.
 				mConnsDropped.Inc()
 				telemetry.LogFirst("transport.drop",
 					"agent: dropping connection from %s: %v", conn.RemoteAddr(), err)
@@ -276,14 +788,29 @@ func (r *Receiver) serve(conn net.Conn) {
 		}
 		mFramesRecv.Inc()
 		switch kind {
+		case frameHello:
+			var h helloBody
+			if json.Unmarshal(body, &h) == nil && h.Agent != "" {
+				agent = h.Agent
+			}
+			r.admit(agent, 0)
+		case frameHeartbeat:
+			var h heartbeatBody
+			if json.Unmarshal(body, &h) == nil && h.Agent != "" {
+				agent = h.Agent
+			}
+			mHeartbeats.Inc()
+			r.noteHeartbeat(agent, seq)
 		case frameEvent:
 			var ev trace.Event
 			if derr := json.Unmarshal(body, &ev); derr != nil {
 				mDecodeErrors.Inc()
-				mConnsDropped.Inc()
 				telemetry.LogFirst("transport.decode",
-					"agent: dropping connection from %s: undecodable event frame: %v", conn.RemoteAddr(), derr)
-				return
+					"agent: undecodable event frame from %s: %v; skipping", conn.RemoteAddr(), derr)
+				continue
+			}
+			if !r.admit(agent, seq) {
+				continue
 			}
 			select {
 			case r.events <- ev:
@@ -294,10 +821,12 @@ func (r *Receiver) serve(conn net.Conn) {
 			var u StateUpdate
 			if derr := json.Unmarshal(body, &u); derr != nil {
 				mDecodeErrors.Inc()
-				mConnsDropped.Inc()
 				telemetry.LogFirst("transport.decode",
-					"agent: dropping connection from %s: undecodable state frame: %v", conn.RemoteAddr(), derr)
-				return
+					"agent: undecodable state frame from %s: %v; skipping", conn.RemoteAddr(), derr)
+				continue
+			}
+			if !r.admit(agent, seq) {
+				continue
 			}
 			select {
 			case r.states <- u:
@@ -308,12 +837,14 @@ func (r *Receiver) serve(conn net.Conn) {
 	}
 }
 
-// Close stops accepting, terminates connection readers, and closes the
-// event channel once they exit.
+// Close stops accepting, terminates connection readers (even ones
+// blocked handing frames to a consumer that already stopped reading),
+// and closes the event, state, and health channels once they exit.
 func (r *Receiver) Close() {
 	close(r.closing)
 	r.ln.Close()
 	r.wg.Wait()
 	close(r.events)
 	close(r.states)
+	close(r.health)
 }

@@ -1,12 +1,15 @@
 package agent
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
+	"gretel/internal/chaos"
 	"gretel/internal/telemetry"
 	"gretel/internal/trace"
 )
@@ -20,6 +23,16 @@ func sampleEvent(seq uint64) trace.Event {
 		SrcNode: "glance-node", DstNode: "horizon-node",
 		ConnID: 42, Status: 413, ErrorText: "Request Entity Too Large",
 		WireBytes: 211, OpID: 7, OpName: "image-upload",
+	}
+}
+
+// fastSender returns a SenderConfig with test-tight timers.
+func fastSender(addr, name string) SenderConfig {
+	return SenderConfig{
+		Addr: addr, Agent: name,
+		DialTimeout: time.Second, WriteTimeout: 2 * time.Second,
+		BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		Heartbeat: 10 * time.Millisecond, DrainTimeout: 5 * time.Second,
 	}
 }
 
@@ -42,11 +55,33 @@ func TestWriteReadEventRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadEventRejectsHugeFrame(t *testing.T) {
+func TestReadEventRejectsGarbageStream(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
 	if _, err := ReadEvent(&buf); err == nil {
-		t.Fatal("oversized frame accepted")
+		t.Fatal("garbage stream accepted")
+	}
+}
+
+func TestReadFrameSkipsOversizedLength(t *testing.T) {
+	// A header whose length field exceeds MaxFrame must be rejected as
+	// corrupt (scan past it), never allocated.
+	ev := sampleEvent(1)
+	body, _ := json.Marshal(&ev)
+	fr := encodeFrame(frameEvent, 1, body)
+	huge := append([]byte{}, fr...)
+	huge[11], huge[12], huge[13], huge[14] = 0xff, 0xff, 0xff, 0xff
+	good := encodeFrame(frameEvent, 2, body)
+	br := bufio.NewReader(bytes.NewReader(append(huge, good...)))
+	kind, seq, _, skipped, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != frameEvent || seq != 2 {
+		t.Fatalf("got kind=%q seq=%d, want the good frame after the corrupt one", kind, seq)
+	}
+	if skipped == 0 {
+		t.Fatal("corrupt prefix not reported as skipped")
 	}
 }
 
@@ -55,6 +90,31 @@ func TestReadEventShortBody(t *testing.T) {
 	buf.Write([]byte{0, 0, 0, 10, 'x'})
 	if _, err := ReadEvent(&buf); err == nil {
 		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestReadFrameResyncAfterCorruptFrame(t *testing.T) {
+	// Flip a body byte: CRC fails, frame is skipped, and the next valid
+	// frame is returned — corruption must not surface as an error.
+	ev := sampleEvent(1)
+	body, _ := json.Marshal(&ev)
+	bad := encodeFrame(frameEvent, 1, body)
+	bad[frameHdrLen] ^= 0xff
+	good := encodeFrame(frameEvent, 2, body)
+	br := bufio.NewReader(bytes.NewReader(append(bad, good...)))
+	kind, seq, gotBody, skipped, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != frameEvent || seq != 2 {
+		t.Fatalf("kind=%q seq=%d, want good frame", kind, seq)
+	}
+	if skipped != len(bad) {
+		t.Fatalf("skipped=%d, want %d (the whole corrupt frame)", skipped, len(bad))
+	}
+	var got trace.Event
+	if err := json.Unmarshal(gotBody, &got); err != nil || got.Status != 413 {
+		t.Fatalf("body mangled: %v %+v", err, got)
 	}
 }
 
@@ -107,7 +167,7 @@ func TestMultipleSenders(t *testing.T) {
 	for s := 0; s < senders; s++ {
 		s := s
 		go func() {
-			snd, err := Dial(recv.Addr())
+			snd, err := DialConfig(fastSender(recv.Addr(), "node-"+string(rune('a'+s))))
 			if err != nil {
 				t.Error(err)
 				return
@@ -154,9 +214,9 @@ func TestStateFrameRoundTrip(t *testing.T) {
 	if _, err := ReadEvent(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("ReadEvent accepted a state frame")
 	}
-	kind, body, err := readFrame(bytes.NewReader(buf.Bytes()))
-	if err != nil || kind != frameState {
-		t.Fatalf("kind=%q err=%v", kind, err)
+	kind, seq, body, skipped, err := readFrame(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+	if err != nil || kind != frameState || seq != 0 || skipped != 0 {
+		t.Fatalf("kind=%q seq=%d skipped=%d err=%v", kind, seq, skipped, err)
 	}
 	if len(body) == 0 {
 		t.Fatal("empty state body")
@@ -209,7 +269,7 @@ func TestCollectStateAndStoreRoundTrip(t *testing.T) {
 	if err := WriteState(&buf, &u); err != nil {
 		t.Fatal(err)
 	}
-	kind, body, err := readFrame(&buf)
+	kind, _, body, _, err := readFrame(bufio.NewReader(&buf))
 	if err != nil || kind != frameState {
 		t.Fatal("frame broken")
 	}
@@ -235,31 +295,42 @@ func waitCounterAbove(t *testing.T, c *telemetry.Counter, floor uint64) {
 	}
 }
 
-// TestReceiverCountsDroppedConnections closes the satellite gap at the
-// old bare-return drop site: a corrupt frame must increment
-// transport.connections_dropped rather than vanish.
-func TestReceiverCountsDroppedConnections(t *testing.T) {
+// TestReceiverResyncsOnCorruptBytes: garbage on the wire must be
+// skipped via resync — the connection survives and the next valid
+// frame is still delivered.
+func TestReceiverResyncsOnCorruptBytes(t *testing.T) {
 	recv, err := Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer recv.Close()
-	dropped := telemetry.GetCounter("transport.connections_dropped")
-	before := dropped.Value()
+	resyncs := telemetry.GetCounter("transport.resyncs")
+	before := resyncs.Value()
 
 	conn, err := net.Dial("tcp", recv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Unknown frame kind 'X': readFrame fails mid-stream.
-	conn.Write([]byte{'X', 0, 0, 0, 1, 'a'})
-	conn.Close()
-	waitCounterAbove(t, dropped, before)
+	defer conn.Close()
+	conn.Write([]byte{'X', 0xff, 0x01, 0xab, 0x00, 0x7f})
+	ev := sampleEvent(99)
+	if err := WriteEvent(conn, &ev); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-recv.Events():
+		if got.Seq != 99 {
+			t.Fatalf("wrong event after resync: %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event after garbage never arrived: connection torn down?")
+	}
+	waitCounterAbove(t, resyncs, before)
 }
 
-// TestReceiverCountsDecodeErrors: a well-framed but undecodable event
-// body must be counted (and the connection dropped), not silently eaten.
-func TestReceiverCountsDecodeErrors(t *testing.T) {
+// TestReceiverSkipsUndecodableFrame: a well-framed but undecodable body
+// must be counted and skipped — the connection survives.
+func TestReceiverSkipsUndecodableFrame(t *testing.T) {
 	recv, err := Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -272,23 +343,137 @@ func TestReceiverCountsDecodeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body := []byte("not-json")
-	hdr := []byte{'E', 0, 0, 0, byte(len(body))}
-	conn.Write(append(hdr, body...))
-	conn.Close()
+	defer conn.Close()
+	conn.Write(encodeFrame(frameEvent, 0, []byte("not-json")))
+	ev := sampleEvent(7)
+	if err := WriteEvent(conn, &ev); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-recv.Events():
+		if got.Seq != 7 {
+			t.Fatalf("wrong event after decode error: %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event after undecodable frame never arrived")
+	}
 	waitCounterAbove(t, decode, before)
 }
 
-// TestSenderReconnectAfterFailure drives a sender into a sticky error by
-// closing the server side, then verifies Reconnect restores the stream
-// and counts itself.
-func TestSenderReconnectAfterFailure(t *testing.T) {
+// TestReceiverRecordsGapAndDedups drives sequence tracking directly: a
+// jump in sequence numbers yields a gap record, and a replayed frame is
+// dropped as a duplicate.
+func TestReceiverRecordsGapAndDedups(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	conn, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	hello, _ := json.Marshal(helloBody{Agent: "gap-agent"})
+	conn.Write(encodeFrame(frameHello, 0, hello))
+	mk := func(seq uint64) []byte {
+		ev := sampleEvent(seq)
+		body, _ := json.Marshal(&ev)
+		return encodeFrame(frameEvent, seq, body)
+	}
+	conn.Write(mk(1))
+	conn.Write(mk(5)) // gap: 2,3,4 missing
+	conn.Write(mk(5)) // duplicate
+
+	var events []trace.Event
+	timeout := time.After(5 * time.Second)
+	for len(events) < 2 {
+		select {
+		case ev := <-recv.Events():
+			events = append(events, ev)
+		case <-timeout:
+			t.Fatalf("timeout after %d events", len(events))
+		}
+	}
+	select {
+	case h := <-recv.Health():
+		if h.Kind != HealthGap || h.Agent != "gap-agent" || h.Missing != 3 {
+			t.Fatalf("health = %+v, want gap of 3 for gap-agent", h)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no gap record")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := recv.AgentStats()["gap-agent"]
+		if st.LastSeq == 5 && st.Missing == 3 && st.Dups == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent stats = %+v, want lastSeq=5 missing=3 dups=1", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReceiverLivenessDownUp: an agent whose frames stop is declared
+// down after DownAfter, and flips back up when it returns.
+func TestReceiverLivenessDownUp(t *testing.T) {
+	recv, err := ListenConfig(ReceiverConfig{Addr: "127.0.0.1:0", DownAfter: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	snd, err := DialConfig(fastSender(recv.Addr(), "hb-agent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Send(sampleEvent(1))
+	<-recv.Events()
+	if err := snd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitHealth := func(want HealthKind) {
+		t.Helper()
+		timeout := time.After(5 * time.Second)
+		for {
+			select {
+			case h := <-recv.Health():
+				if h.Kind == want && h.Agent == "hb-agent" {
+					return
+				}
+			case <-timeout:
+				t.Fatalf("no %v record for hb-agent", want)
+			}
+		}
+	}
+	waitHealth(HealthDown)
+	if st := recv.AgentStats()["hb-agent"]; !st.Down {
+		t.Fatalf("agent not marked down: %+v", st)
+	}
+
+	// The agent comes back: fresh sender, same identity.
+	snd2, err := DialConfig(fastSender(recv.Addr(), "hb-agent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd2.Close()
+	waitHealth(HealthUp)
+}
+
+// TestSenderAutoReconnectReplays kills the live connection server-side;
+// the sender must redial on its own and replay the ring so every frame
+// is eventually seen (the receiver side dedups).
+func TestSenderAutoReconnectReplays(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	conns := make(chan net.Conn, 4)
+	conns := make(chan net.Conn, 8)
 	go func() {
 		for {
 			c, err := ln.Accept()
@@ -299,51 +484,241 @@ func TestSenderReconnectAfterFailure(t *testing.T) {
 		}
 	}()
 
-	s, err := Dial(ln.Addr().String())
+	reconnects := telemetry.GetCounter("transport.reconnects")
+	recBefore := reconnects.Value()
+
+	cfg := fastSender(ln.Addr().String(), "replayer")
+	cfg.Heartbeat = -1 // quiet stream: only payload frames
+	s, err := DialConfig(cfg)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitConnected(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
 	first := <-conns
-	first.Close()
+	for i := uint64(1); i <= 10; i++ {
+		s.Send(sampleEvent(i))
+	}
+	first.Close() // sender's writes now fail → background redial
+	for i := uint64(11); i <= 20; i++ {
+		s.Send(sampleEvent(i))
+	}
 
-	reconnects := telemetry.GetCounter("transport.reconnects")
-	recBefore := reconnects.Value()
-	dropped := telemetry.GetCounter("transport.frames_dropped")
-	dropBefore := dropped.Value()
-
-	// Writes into a peer-closed connection fail once the RST lands.
-	deadline := time.Now().Add(5 * time.Second)
-	for s.Flush() == nil {
-		if time.Now().After(deadline) {
-			t.Fatal("sender never observed the closed connection")
+	var second net.Conn
+	select {
+	case second = <-conns:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender never redialed")
+	}
+	br := bufio.NewReader(second)
+	seen := make(map[uint64]bool)
+	second.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(seen) < 20 {
+		kind, _, body, _, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("after %d distinct events: %v", len(seen), err)
 		}
-		s.Send(sampleEvent(1))
-		time.Sleep(time.Millisecond)
+		if kind != frameEvent {
+			continue
+		}
+		var ev trace.Event
+		if err := json.Unmarshal(body, &ev); err != nil {
+			t.Fatal(err)
+		}
+		seen[ev.Seq] = true
 	}
-	s.Send(sampleEvent(1)) // dropped on the sticky error
-	if dropped.Value() <= dropBefore {
-		t.Fatal("dropped frames not counted")
+	if got := reconnects.Value(); got <= recBefore {
+		t.Fatalf("reconnects = %d, want > %d", got, recBefore)
 	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	second.Close()
+}
 
-	if err := s.Reconnect(); err != nil {
-		t.Fatalf("reconnect: %v", err)
-	}
-	if got := reconnects.Value(); got != recBefore+1 {
-		t.Fatalf("reconnects = %d, want %d", got, recBefore+1)
-	}
-	s.Send(sampleEvent(2))
-	if err := s.Flush(); err != nil {
-		t.Fatalf("flush after reconnect: %v", err)
-	}
-	second := <-conns
-	ev, err := ReadEvent(second)
+// TestSenderLazyDialBeforeReceiver: the sender must be usable before
+// the analyzer is listening — frames spool and flow once it appears.
+func TestSenderLazyDialBeforeReceiver(t *testing.T) {
+	// Reserve an address, then free it for the late receiver.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev.Seq != 2 {
-		t.Fatalf("event after reconnect has seq %d, want 2", ev.Seq)
+	addr := probe.Addr().String()
+	probe.Close()
+
+	s, err := DialConfig(fastSender(addr, "early-bird"))
+	if err != nil {
+		t.Fatalf("lazy dial must not fail: %v", err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		s.Send(sampleEvent(i))
+	}
+	time.Sleep(20 * time.Millisecond) // let a few dial attempts fail
+
+	recv, err := Listen(addr)
+	if err != nil {
+		t.Skipf("reserved address %s re-taken: %v", addr, err)
+	}
+	defer recv.Close()
+	if err := s.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[uint64]bool)
+	timeout := time.After(5 * time.Second)
+	for len(got) < 5 {
+		select {
+		case ev := <-recv.Events():
+			got[ev.Seq] = true
+		case <-timeout:
+			t.Fatalf("timeout with %d/5 spooled events delivered", len(got))
+		}
 	}
 	if err := s.Close(); err != nil {
-		t.Fatalf("close after reconnect: %v", err)
+		t.Fatal(err)
 	}
+}
+
+// TestSenderShedsOldestWhenRingFull: with no analyzer reachable, ring
+// overflow sheds oldest-first and is counted; Close reports the
+// incomplete drain.
+func TestSenderShedsOldestWhenRingFull(t *testing.T) {
+	// An address nothing listens on.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	shedC := telemetry.GetCounter("transport.frames_shed")
+	before := shedC.Value()
+
+	cfg := fastSender(addr, "shedder")
+	cfg.Ring = 8
+	cfg.DrainTimeout = 50 * time.Millisecond
+	s, err := DialConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		s.Send(sampleEvent(i))
+	}
+	st := s.Stats()
+	if st.Shed != 12 {
+		t.Fatalf("shed = %d, want 12 (20 sent into a ring of 8)", st.Shed)
+	}
+	if got := shedC.Value(); got != before+12 {
+		t.Fatalf("transport.frames_shed advanced by %d, want 12", got-before)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close must report the failed drain when frames never flushed")
+	}
+}
+
+// TestReceiverCloseMidBurst is the shutdown-race regression test: a
+// serve goroutine blocked handing events to a consumer that stopped
+// reading must not deadlock Close.
+func TestReceiverCloseMidBurst(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Blast more events than the channel buffers; nobody consumes, so
+	// serve blocks mid-burst on the events channel.
+	go func() {
+		for i := uint64(1); i <= 8192; i++ {
+			ev := sampleEvent(i)
+			if WriteEvent(conn, &ev) != nil {
+				return
+			}
+		}
+	}()
+	// Wait until the buffer is provably full (serve is blocked sending).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(recv.Events()) < cap(recv.Events()) {
+		if time.Now().After(deadline) {
+			t.Fatal("events channel never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() {
+		recv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Receiver.Close deadlocked with a blocked serve goroutine")
+	}
+}
+
+// TestConcurrentSendDuringReconnect hammers Send from many goroutines
+// while chaos-injected connection resets force reconnects mid-stream:
+// every event must arrive exactly once, with zero shed and zero gaps.
+func TestConcurrentSendDuringReconnect(t *testing.T) {
+	recv, err := ListenConfig(ReceiverConfig{Addr: "127.0.0.1:0", ReadTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastSender(recv.Addr(), "stress")
+	cfg.Ring = 1 << 14 // retain everything: resets must not shed
+	cfg.Heartbeat = 5 * time.Millisecond
+	cfg.Dialer = chaos.Dialer(chaos.Config{Seed: 42, Reset: 0.002})
+	s, err := DialConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, per = 8, 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Send(sampleEvent(uint64(g*per + i + 1)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close (drain) failed: %v", err)
+	}
+	if st := s.Stats(); st.Shed != 0 {
+		t.Fatalf("shed %d frames with an oversized ring", st.Shed)
+	}
+
+	const total = goroutines * per
+	counts := make(map[uint64]int, total)
+	delivered := 0
+	timeout := time.After(20 * time.Second)
+	for delivered < total {
+		select {
+		case ev := <-recv.Events():
+			counts[ev.Seq]++
+			if counts[ev.Seq] > 1 {
+				t.Fatalf("event %d delivered %d times", ev.Seq, counts[ev.Seq])
+			}
+			delivered++
+		case <-timeout:
+			st := recv.AgentStats()["stress"]
+			t.Fatalf("timeout with %d/%d delivered (receiver view: %+v)", delivered, total, st)
+		}
+	}
+	st := recv.AgentStats()["stress"]
+	if st.Missing != 0 {
+		t.Fatalf("receiver recorded %d missing frames; replay should cover resets", st.Missing)
+	}
+	if st.LastSeq != total {
+		t.Fatalf("lastSeq = %d, want %d (monotonic sequence numbering broke)", st.LastSeq, total)
+	}
+	recv.Close()
 }

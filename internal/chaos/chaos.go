@@ -1,0 +1,169 @@
+// Package chaos wraps net.Conn with seeded, deterministic fault
+// injection for soak-testing the monitoring plane: writes can be
+// dropped, corrupted, delayed, split, stalled, or met with a connection
+// reset. The wrapped connection is what a WAN with a dying switch looks
+// like to the transport — the soak tests in internal/chaos and
+// internal/agent drive the full replay pipeline through it and assert
+// zero silent loss.
+//
+// Determinism: every fault decision comes from a rand.Rand seeded from
+// Config.Seed (per connection: Seed + connection index), so a failing
+// soak run replays bit-identically from its seed.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets per-write fault probabilities (each in [0,1], rolled
+// independently in the order Reset, Stall, Drop, Delay, Corrupt,
+// Split). The zero value injects nothing.
+type Config struct {
+	// Seed drives the deterministic fault schedule.
+	Seed int64
+	// Reset closes the underlying connection and fails the write, as a
+	// peer RST would.
+	Reset float64
+	// Stall sleeps StallFor before the write (long freeze).
+	Stall float64
+	// StallFor is the stall duration (default 200ms).
+	StallFor time.Duration
+	// Drop swallows the write whole while reporting success — the
+	// cruelest fault: the sender believes the bytes left.
+	Drop float64
+	// Delay sleeps DelayBy before the write (jittery latency).
+	Delay float64
+	// DelayBy is the delay duration (default 2ms).
+	DelayBy time.Duration
+	// Corrupt flips one random byte of the write.
+	Corrupt float64
+	// Split issues the write as two underlying writes, exercising
+	// partial-frame boundaries in the receiver.
+	Split float64
+}
+
+func (c Config) stallFor() time.Duration {
+	if c.StallFor > 0 {
+		return c.StallFor
+	}
+	return 200 * time.Millisecond
+}
+
+func (c Config) delayBy() time.Duration {
+	if c.DelayBy > 0 {
+		return c.DelayBy
+	}
+	return 2 * time.Millisecond
+}
+
+// Stats counts the faults a connection actually injected.
+type Stats struct {
+	Writes, Resets, Stalls, Drops, Delays, Corrupts, Splits uint64
+}
+
+// Conn is a net.Conn that injects faults on Write. Reads pass through
+// untouched: the transport's fault surface is the sender→analyzer
+// direction.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// Wrap adorns conn with fault injection driven by cfg.
+func Wrap(conn net.Conn, cfg Config) *Conn {
+	return &Conn{Conn: conn, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the injected-fault counts.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Write applies the fault schedule to one write.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.stats.Writes++
+	roll := func(prob float64) bool { return prob > 0 && c.rng.Float64() < prob }
+
+	if roll(c.cfg.Reset) {
+		c.stats.Resets++
+		c.mu.Unlock()
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	var sleep time.Duration
+	if roll(c.cfg.Stall) {
+		c.stats.Stalls++
+		sleep += c.cfg.stallFor()
+	}
+	if roll(c.cfg.Drop) {
+		c.stats.Drops++
+		c.mu.Unlock()
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		return len(p), nil // swallowed: caller sees success
+	}
+	if roll(c.cfg.Delay) {
+		c.stats.Delays++
+		sleep += c.cfg.delayBy()
+	}
+	corruptAt := -1
+	if len(p) > 0 && roll(c.cfg.Corrupt) {
+		c.stats.Corrupts++
+		corruptAt = c.rng.Intn(len(p))
+	}
+	splitAt := -1
+	if len(p) > 1 && roll(c.cfg.Split) {
+		c.stats.Splits++
+		splitAt = 1 + c.rng.Intn(len(p)-1)
+	}
+	c.mu.Unlock()
+
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if corruptAt >= 0 {
+		// Copy before mangling: the caller's buffer is not ours to edit.
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[corruptAt] ^= 0xff
+		p = q
+	}
+	if splitAt > 0 {
+		n1, err := c.Conn.Write(p[:splitAt])
+		if err != nil {
+			return n1, err
+		}
+		n2, err := c.Conn.Write(p[splitAt:])
+		return n1 + n2, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Dialer returns a dial function (matching agent.SenderConfig.Dialer)
+// whose connections inject faults per cfg. Each connection gets its own
+// deterministic schedule: cfg.Seed plus the connection's ordinal, so
+// reconnects do not replay the same fault sequence.
+func Dialer(cfg Config) func(addr string, timeout time.Duration) (net.Conn, error) {
+	var n atomic.Int64
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Seed = cfg.Seed + n.Add(1)
+		return Wrap(conn, c), nil
+	}
+}

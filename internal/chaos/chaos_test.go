@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+// fakeConn records writes; only Write and Close are exercised by Conn.
+type fakeConn struct {
+	net.Conn
+	buf    bytes.Buffer
+	writes int
+	closed bool
+}
+
+func (c *fakeConn) Write(p []byte) (int, error) { c.writes++; return c.buf.Write(p) }
+func (c *fakeConn) Close() error                { c.closed = true; return nil }
+
+func TestZeroConfigPassesThrough(t *testing.T) {
+	fc := &fakeConn{}
+	c := Wrap(fc, Config{Seed: 1})
+	msg := []byte("hello world")
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(fc.buf.Bytes(), msg) {
+		t.Fatalf("bytes mangled: %q", fc.buf.Bytes())
+	}
+	if st := c.Stats(); st.Writes != 1 || st.Drops+st.Corrupts+st.Resets+st.Splits != 0 {
+		t.Fatalf("faults injected with zero config: %+v", st)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() (Stats, []byte) {
+		fc := &fakeConn{}
+		c := Wrap(fc, Config{Seed: 7, Drop: 0.2, Corrupt: 0.2, Split: 0.2})
+		for i := 0; i < 200; i++ {
+			c.Write([]byte("payload-payload-payload-payload"))
+		}
+		return c.Stats(), fc.buf.Bytes()
+	}
+	s1, b1 := run()
+	s2, b2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverge: %+v vs %+v", s1, s2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("byte streams diverge for the same seed")
+	}
+	if s1.Drops == 0 || s1.Corrupts == 0 || s1.Splits == 0 {
+		t.Fatalf("schedule too tame over 200 writes: %+v", s1)
+	}
+}
+
+func TestDropSwallowsWrite(t *testing.T) {
+	fc := &fakeConn{}
+	c := Wrap(fc, Config{Seed: 1, Drop: 1})
+	n, err := c.Write([]byte("gone"))
+	if err != nil || n != 4 {
+		t.Fatalf("drop must report success: n=%d err=%v", n, err)
+	}
+	if fc.buf.Len() != 0 {
+		t.Fatal("dropped write reached the wire")
+	}
+}
+
+func TestCorruptFlipsOneByteOnCopy(t *testing.T) {
+	fc := &fakeConn{}
+	c := Wrap(fc, Config{Seed: 3, Corrupt: 1})
+	orig := []byte("pristine-payload")
+	keep := append([]byte{}, orig...)
+	if _, err := c.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("caller's buffer was mutated")
+	}
+	got := fc.buf.Bytes()
+	if len(got) != len(orig) {
+		t.Fatalf("length changed: %d", len(got))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestResetClosesAndFails(t *testing.T) {
+	fc := &fakeConn{}
+	c := Wrap(fc, Config{Seed: 1, Reset: 1})
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("reset must fail the write")
+	}
+	if !fc.closed {
+		t.Fatal("reset must close the underlying connection")
+	}
+}
+
+func TestSplitIssuesTwoWrites(t *testing.T) {
+	fc := &fakeConn{}
+	c := Wrap(fc, Config{Seed: 1, Split: 1})
+	msg := []byte("split-me-in-two")
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if fc.writes != 2 {
+		t.Fatalf("underlying writes = %d, want 2", fc.writes)
+	}
+	if !bytes.Equal(fc.buf.Bytes(), msg) {
+		t.Fatal("split mangled the payload")
+	}
+}

@@ -110,6 +110,11 @@ type Report struct {
 	ReportDelay time.Duration
 	// RootCauses is filled by the RCA hook, if configured.
 	RootCauses []RootCause
+	// DegradedNodes lists nodes whose monitoring feed had unhealed loss
+	// (frame gaps or a down agent) when this report was produced: the
+	// snapshot may be missing that node's messages, so the candidate set
+	// is lower-confidence. Empty on a healthy monitoring plane.
+	DegradedNodes []string
 
 	// TruthOp is ground truth (evaluation only): the operation that
 	// actually contained the fault.
@@ -261,15 +266,19 @@ type Stats struct {
 	Snapshots     uint64
 	SnapshotsShed uint64 // snapshots dropped under DetectShed backpressure
 	PairsEvicted  uint64 // pairing-state entries evicted by TTL or cap
+	NodeGaps      uint64 // monitoring-plane gap/down records applied (NodeGap)
+	FramesMissed  uint64 // frames the transport reported lost across all gaps
+	PairsFlushed  uint64 // pairing-state entries flushed by NodeGap
 	Reports       uint64
 	FalseNegs     uint64 // faults whose API had no fingerprint candidates
 	MatchedTotal  uint64 // sum of candidate-set sizes across reports
 }
 
 type pendingReq struct {
-	at  time.Time
-	api trace.API
-	seq uint64 // event sequence, for deterministic eviction tie-breaks
+	at   time.Time
+	api  trace.API
+	seq  uint64 // event sequence, for deterministic eviction tie-breaks
+	node string // responder node, for NodeGap flushes
 }
 
 // Analyzer is the central GRETEL service.
@@ -283,6 +292,10 @@ type Analyzer struct {
 	latBank      *tsoutliers.Bank
 	latStats     map[trace.API]*stats.Summary
 	lastPerfSnap map[trace.API]time.Time
+	// degraded marks nodes with unhealed monitoring-feed loss (NodeGap)
+	// until the agent provably returns (NodeRecovered); value is the time
+	// of the last recorded loss.
+	degraded map[string]time.Time
 
 	// leanCache caches RPC-pruned fingerprints by name; sync.Map because
 	// concurrent detect workers populate it.
@@ -317,6 +330,7 @@ func New(lib *fingerprint.Library, cfg Config) *Analyzer {
 		latBank:      tsoutliers.NewBank(cfg.Latency),
 		latStats:     make(map[trace.API]*stats.Summary),
 		lastPerfSnap: make(map[trace.API]time.Time),
+		degraded:     make(map[string]time.Time),
 	}
 	if cfg.DetectWorkers > 0 {
 		a.startPipeline(cfg.DetectWorkers)
@@ -357,7 +371,7 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 	switch ev.Type {
 	case trace.RESTRequest:
 		a.Stats.PairsEvicted += capPairs(a.pending, a.cfg.MaxPairs)
-		a.pending[ev.ConnID] = pendingReq{ev.Time, ev.API, ev.Seq}
+		a.pending[ev.ConnID] = pendingReq{ev.Time, ev.API, ev.Seq, ev.DstNode}
 	case trace.RESTResponse:
 		if req, ok := a.pending[ev.ConnID]; ok {
 			delete(a.pending, ev.ConnID)
@@ -369,7 +383,7 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 	case trace.RPCCall:
 		if ev.MsgID != "" {
 			a.Stats.PairsEvicted += capPairs(a.calls, a.cfg.MaxPairs)
-			a.calls[ev.MsgID] = pendingReq{ev.Time, ev.API, ev.Seq}
+			a.calls[ev.MsgID] = pendingReq{ev.Time, ev.API, ev.Seq, ev.DstNode}
 		}
 	case trace.RPCReply:
 		if req, ok := a.calls[ev.MsgID]; ok {
@@ -469,6 +483,60 @@ func (a *Analyzer) Flush() {
 	if a.jobs != nil {
 		a.inFlight.Wait()
 	}
+}
+
+// NodeGap tells the analyzer the monitoring feed from node lost data —
+// a frame-sequence gap (missing counts the lost frames) or the agent
+// going dark entirely (missing 0). The analyzer flushes pairing state
+// waiting on responses from that node (the responses may never come,
+// and a latency computed across the gap would be fiction) and marks the
+// node degraded: reports produced until NodeRecovered carry it in
+// DegradedNodes. Call from the ingest goroutine, like Ingest.
+func (a *Analyzer) NodeGap(node string, missing uint64, at time.Time) {
+	a.Stats.NodeGaps++
+	a.Stats.FramesMissed += missing
+	mNodeGaps.Inc()
+	a.degraded[node] = at
+	var flushed uint64
+	for k, p := range a.pending {
+		if p.node == node {
+			delete(a.pending, k)
+			flushed++
+		}
+	}
+	for k, p := range a.calls {
+		if p.node == node {
+			delete(a.calls, k)
+			flushed++
+		}
+	}
+	if flushed > 0 {
+		a.Stats.PairsFlushed += flushed
+		mPairsFlushed.Add(flushed)
+		telemetry.LogFirst("core.nodegap",
+			"core: monitoring gap on %s (%d frames missing): flushed %d pending pairs", node, missing, flushed)
+	}
+}
+
+// NodeRecovered clears a node's degraded mark after its agent provably
+// returned (the transport saw fresh frames from it).
+func (a *Analyzer) NodeRecovered(node string) {
+	delete(a.degraded, node)
+}
+
+// degradedList snapshots the degraded node set, sorted for determinism;
+// nil when the monitoring plane is healthy, so healthy-plane reports
+// are byte-identical to runs without degradation tracking.
+func (a *Analyzer) degradedList() []string {
+	if len(a.degraded) == 0 {
+		return nil
+	}
+	nodes := make([]string, 0, len(a.degraded))
+	for n := range a.degraded {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
 }
 
 func (a *Analyzer) armSnapshot(ev trace.Event, kind FaultKind, latency time.Duration) {

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gretel/internal/trace"
+)
+
+// TestNodeGapFlushesPendingPairs: a monitoring gap on a node must flush
+// pairing state waiting on that node's responses — a latency computed
+// across lost frames would be fiction — while pairs waiting on healthy
+// nodes survive.
+func TestNodeGapFlushesPendingPairs(t *testing.T) {
+	a := newAnalyzer(Config{Alpha: 32})
+	a.Ingest(trace.Event{Time: at(10), Type: trace.RESTRequest, API: get("/list"),
+		ConnID: 1, DstNode: "nova-node", WireBytes: 150})
+	a.Ingest(trace.Event{Time: at(20), Type: trace.RPCCall, API: rpc("build"),
+		MsgID: "m1", DstNode: "nova-node", WireBytes: 200})
+	a.Ingest(trace.Event{Time: at(30), Type: trace.RESTRequest, API: get("/c2"),
+		ConnID: 2, DstNode: "cinder-node", WireBytes: 150})
+
+	a.NodeGap("nova-node", 7, at(40))
+
+	if a.Stats.NodeGaps != 1 || a.Stats.FramesMissed != 7 {
+		t.Fatalf("gaps=%d missed=%d, want 1/7", a.Stats.NodeGaps, a.Stats.FramesMissed)
+	}
+	if a.Stats.PairsFlushed != 2 {
+		t.Fatalf("flushed %d pairs, want 2 (REST + RPC on nova-node)", a.Stats.PairsFlushed)
+	}
+	if len(a.pending) != 1 || len(a.calls) != 0 {
+		t.Fatalf("pending=%d calls=%d after flush, want 1/0", len(a.pending), len(a.calls))
+	}
+
+	// A response straggling in after the flush must not pair: its request
+	// state is gone, so no latency sample is fabricated.
+	a.Ingest(trace.Event{Time: at(50), Type: trace.RESTResponse, API: get("/list"),
+		ConnID: 1, Status: 200, DstNode: "api-node", WireBytes: 180})
+	if a.Stats.RESTPairs != 0 {
+		t.Fatalf("flushed pair still matched: %d REST pairs", a.Stats.RESTPairs)
+	}
+	// The healthy node's pair still completes.
+	a.Ingest(trace.Event{Time: at(60), Type: trace.RESTResponse, API: get("/c2"),
+		ConnID: 2, Status: 200, DstNode: "api-node", WireBytes: 180})
+	if a.Stats.RESTPairs != 1 {
+		t.Fatalf("healthy pair lost: %d REST pairs", a.Stats.RESTPairs)
+	}
+}
+
+// TestDegradedNodesAnnotateReports: reports produced while a node's
+// feed has unhealed loss carry the node in DegradedNodes; after
+// NodeRecovered the annotation clears — and on a healthy plane the
+// field is nil, keeping reports byte-identical to pre-degradation runs.
+func TestDegradedNodesAnnotateReports(t *testing.T) {
+	a := newAnalyzer(Config{Alpha: 32})
+	s := &stream{a: a}
+
+	s.rest(post("/a1"), 200, 1, "op-a")
+	s.rest(post("/a2"), 500, 1, "op-a") // fault on a healthy plane
+	s.filler(20)
+
+	a.NodeGap("nova-node", 3, at(s.ms))
+	a.NodeGap("glance-node", 0, at(s.ms)) // agent went dark
+	s.rest(post("/a2"), 500, 2, "op-a")   // fault during the gap
+	s.filler(20)
+
+	a.NodeRecovered("nova-node")
+	a.NodeRecovered("glance-node")
+	s.rest(post("/a2"), 500, 3, "op-a") // fault after recovery
+	s.filler(20)
+	a.Flush()
+
+	reps := a.Reports()
+	if len(reps) != 3 {
+		t.Fatalf("reports = %d, want 3", len(reps))
+	}
+	if reps[0].DegradedNodes != nil {
+		t.Fatalf("healthy-plane report annotated: %v", reps[0].DegradedNodes)
+	}
+	want := []string{"glance-node", "nova-node"} // sorted for determinism
+	if !reflect.DeepEqual(reps[1].DegradedNodes, want) {
+		t.Fatalf("degraded = %v, want %v", reps[1].DegradedNodes, want)
+	}
+	if reps[2].DegradedNodes != nil {
+		t.Fatalf("post-recovery report still annotated: %v", reps[2].DegradedNodes)
+	}
+}
+
+// TestDegradedNodesWithWorkerPool: the degraded set is captured at
+// dispatch time on the receiver goroutine, so the worker-pool path
+// annotates identically to the inline path.
+func TestDegradedNodesWithWorkerPool(t *testing.T) {
+	a := newAnalyzer(Config{Alpha: 32, DetectWorkers: 2})
+	defer a.Close()
+	s := &stream{a: a}
+
+	a.NodeGap("nova-node", 1, at(0))
+	s.rest(post("/a2"), 500, 1, "op-a")
+	s.filler(20)
+	a.NodeRecovered("nova-node")
+	s.rest(post("/a2"), 500, 2, "op-a")
+	s.filler(20)
+	a.Flush()
+
+	reps := a.Reports()
+	if len(reps) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reps))
+	}
+	if !reflect.DeepEqual(reps[0].DegradedNodes, []string{"nova-node"}) {
+		t.Fatalf("degraded = %v, want [nova-node]", reps[0].DegradedNodes)
+	}
+	if reps[1].DegradedNodes != nil {
+		t.Fatalf("post-recovery report annotated: %v", reps[1].DegradedNodes)
+	}
+}

@@ -20,6 +20,8 @@ import (
 var (
 	mSnapshotsShed = telemetry.GetCounter("core.snapshots_shed")
 	mPairsEvicted  = telemetry.GetCounter("core.pairs_evicted")
+	mNodeGaps      = telemetry.GetCounter("core.node_gaps")
+	mPairsFlushed  = telemetry.GetCounter("core.pairs_flushed")
 	gDetectQueue   = telemetry.GetGauge("core.detect_queue_depth")
 )
 
@@ -31,6 +33,9 @@ type detectJob struct {
 	kind    FaultKind
 	latency time.Duration
 	snap    *window.Snapshot
+	// degraded is the degraded-node set captured at dispatch time on the
+	// receiver goroutine — workers must not read a.degraded themselves.
+	degraded []string
 }
 
 // detectResult pairs a finished report with its arrival sequence.
@@ -59,13 +64,15 @@ func (a *Analyzer) startPipeline(workers int) {
 // receiver (backpressure) unless DetectShed is set, in which case the
 // snapshot is dropped and counted.
 func (a *Analyzer) dispatch(fault trace.Event, kind FaultKind, latency time.Duration, snap *window.Snapshot) {
+	deg := a.degradedList()
 	if a.jobs == nil {
 		rep := a.detect(fault, kind, latency, snap)
 		snap.Release()
+		rep.DegradedNodes = deg
 		a.finish(rep)
 		return
 	}
-	job := detectJob{seq: a.nextSeq, fault: fault, kind: kind, latency: latency, snap: snap}
+	job := detectJob{seq: a.nextSeq, fault: fault, kind: kind, latency: latency, snap: snap, degraded: deg}
 	a.inFlight.Add(1)
 	if a.cfg.DetectShed {
 		select {
@@ -95,6 +102,7 @@ func (a *Analyzer) detectWorker(id int) {
 		sp := spans.Start()
 		rep := a.detect(job.fault, job.kind, job.latency, job.snap)
 		job.snap.Release()
+		rep.DegradedNodes = job.degraded
 		sp.End()
 		a.results <- detectResult{seq: job.seq, rep: rep}
 	}

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"time"
 
+	"gretel/internal/agent"
 	"gretel/internal/core"
 	"gretel/internal/hansel"
 	"gretel/internal/openstack"
@@ -179,6 +180,10 @@ type Result struct {
 	// MaxReportDelay is the worst virtual-time delay between a fault
 	// message and its report (the paper observed <2 s).
 	MaxReportDelay time.Duration
+	// Gaps and Missed count monitoring-plane loss records applied to the
+	// analyzer when driving from a live transport (DriveTransport):
+	// gap/down health records, and the total frames they reported lost.
+	Gaps, Missed uint64
 }
 
 // Drive pushes the stream through a GRETEL analyzer at full speed. If
@@ -207,6 +212,78 @@ func Drive(a *core.Analyzer, events []trace.Event) Result {
 	}
 	if wall > 0 {
 		res.EventsPerSec = float64(len(events)) / wall.Seconds()
+		res.Mbps = float64(bytes) * 8 / 1e6 / wall.Seconds()
+	}
+	for _, rep := range a.Reports() {
+		if rep.ReportDelay > res.MaxReportDelay {
+			res.MaxReportDelay = rep.ReportDelay
+		}
+	}
+	return res
+}
+
+// DriveTransport drains a live agent.Receiver into the analyzer until
+// the receiver is closed: events feed Ingest, state updates feed
+// onState (may be nil), and monitoring-plane health records feed the
+// analyzer's graceful degradation — a frame gap or a dark agent flushes
+// that node's pending pairs and marks reports degraded until the agent
+// returns (core.Analyzer.NodeGap / NodeRecovered). Agent names double
+// as node names in per-node deployments; a single merged agent degrades
+// under its own name, marking the whole feed.
+//
+// All analyzer access stays on this goroutine, preserving Ingest's
+// single-caller contract. Returns after a.Close, so Reports and Stats
+// are complete.
+func DriveTransport(a *core.Analyzer, recv *agent.Receiver, onState func(agent.StateUpdate)) Result {
+	events, states, health := recv.Events(), recv.States(), recv.Health()
+	start := time.Now()
+	var bytes uint64
+	var n int
+	for events != nil || states != nil || health != nil {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				events = nil
+				continue
+			}
+			n++
+			bytes += uint64(ev.WireBytes)
+			a.Ingest(ev)
+		case u, ok := <-states:
+			if !ok {
+				states = nil
+				continue
+			}
+			if onState != nil {
+				onState(u)
+			}
+		case h, ok := <-health:
+			if !ok {
+				health = nil
+				continue
+			}
+			switch h.Kind {
+			case agent.HealthGap, agent.HealthDown:
+				a.NodeGap(h.Agent, h.Missing, h.At)
+			case agent.HealthUp:
+				a.NodeRecovered(h.Agent)
+			}
+		}
+	}
+	a.Close()
+	wall := time.Since(start)
+
+	res := Result{
+		Events:        n,
+		Bytes:         bytes,
+		Wall:          wall,
+		Reports:       len(a.Reports()),
+		SnapshotsShed: a.Stats.SnapshotsShed,
+		Gaps:          a.Stats.NodeGaps,
+		Missed:        a.Stats.FramesMissed,
+	}
+	if wall > 0 {
+		res.EventsPerSec = float64(n) / wall.Seconds()
 		res.Mbps = float64(bytes) * 8 / 1e6 / wall.Seconds()
 	}
 	for _, rep := range a.Reports() {
