@@ -18,6 +18,7 @@ import (
 	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
 	"gretel/internal/trace"
+	"gretel/internal/tracestore"
 )
 
 // BenchmarkTable1_Characterization measures the full offline learning
@@ -320,6 +321,41 @@ func BenchmarkAnalyzerIngest(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(stream)), "events/op")
+}
+
+// BenchmarkIngestExplainOff is the guard that keeps explain mode free
+// when it is off: the identical stream as BenchmarkAnalyzerIngest with
+// the evidence-trace subsystem compiled in but no store installed (the
+// default). The disabled path is one nil check inside detect, so
+// allocs/op must match the plain ingest benchmark exactly. The explain-on
+// sub-benchmark shows what recording actually costs for contrast.
+func BenchmarkIngestExplainOff(b *testing.B) {
+	cat := tempest.NewCatalog(1)
+	lib := experiments.GroundTruthLibrary(cat)
+	stream := replay.Synthesize(replay.StreamConfig{Concurrency: 200, Events: 50000, Seed: 5})
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a := core.New(lib, core.Config{})
+			a.SetExplain(nil)
+			for j := range stream {
+				a.Ingest(stream[j])
+			}
+		}
+		b.ReportMetric(float64(len(stream)), "events/op")
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a := core.New(lib, core.Config{})
+			a.SetExplain(tracestore.New(0))
+			for j := range stream {
+				a.Ingest(stream[j])
+			}
+			a.Close()
+		}
+		b.ReportMetric(float64(len(stream)), "events/op")
+	})
 }
 
 // BenchmarkFingerprintLearn measures Algorithm 1 on a realistic trace set.

@@ -1,0 +1,26 @@
+// Command jsoncheck exits non-zero unless every argument is a file
+// holding syntactically valid JSON. CI uses it to assert exported
+// Chrome traces parse without depending on tools outside the Go
+// toolchain.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: invalid JSON: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -10,7 +10,13 @@
 //	gretel-experiments -exp all
 //
 // Experiments: table1, fig5, fig6, fig7a, fig7b, fig7c, fig8a, fig8b,
-// fig8c, hansel, overhead, all.
+// fig8c, hansel, overhead, explain, all.
+//
+// The explain experiment reruns the Fig. 8a fault scenario with
+// evidence tracing on and, with -out, writes out/explain.txt: one block
+// per injected fault naming the blamed operation, the winning
+// fingerprint, and the closest rejected candidate with its rejection
+// reason.
 package main
 
 import (
@@ -162,6 +168,18 @@ func main() {
 		fmt.Printf("GRETEL reports one candidate set per fault (see fig7b).\n")
 	})
 
+	run("explain", func() {
+		parallel, faults := 100, 16
+		if *fast {
+			parallel, faults = 60, 4
+		}
+		res := experiments.Explain(*seed, parallel, faults)
+		text := experiments.FormatExplain(res)
+		fmt.Print(experiments.FormatPrecision([]experiments.PrecisionCell{res.Cell}))
+		fmt.Print(text)
+		writeText(*outDir, "explain", text)
+	})
+
 	run("overhead", func() {
 		n := 100
 		if *fast {
@@ -172,7 +190,7 @@ func main() {
 	})
 
 	switch *exp {
-	case "all", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "hansel", "overhead":
+	case "all", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "hansel", "overhead", "explain":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -199,6 +217,20 @@ func appendTelemetry(dir, name string) {
 	}
 	fmt.Fprintln(f)
 	log.Printf("appended telemetry for %s to %s (%s)", name, path, snap)
+}
+
+// writeText writes a finished text report to dir/name.txt; dir=="" is a
+// no-op.
+func writeText(dir, name, text string) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name+".txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		log.Printf("writing %s: %v", path, err)
+		return
+	}
+	log.Printf("wrote %s", path)
 }
 
 // writeCSV writes rows (first row headers) to dir/name.csv; dir=="" is a

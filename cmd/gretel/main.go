@@ -22,6 +22,19 @@
 // (-detect-backlog); when full the receiver blocks, or drops snapshots
 // if -detect-shed is set (counted in core.snapshots_shed). Reports are
 // delivered in fault-arrival order either way.
+//
+// With -explain, every report also records a full evidence trace — the
+// frozen window, span tree, per-candidate match scores and rejection
+// reasons, β growth steps, identifier chain, and RCA inputs — into a
+// bounded in-memory store (-trace-store-cap, oldest evicted first,
+// evictions counted). Traces are browsable on the telemetry address at
+// /traces (index) and /traces/<id> (text; ?format=json|ndjson|chrome,
+// the latter loadable in Perfetto / chrome://tracing).
+//
+// -replay N switches to a self-contained mode: instead of listening for
+// agents, synthesize N events from the catalog workload (one injected
+// fault per -fault-every messages) and drive them through the analyzer,
+// then keep the telemetry endpoints up for -linger before exiting.
 package main
 
 import (
@@ -38,37 +51,60 @@ import (
 	"gretel/internal/agent"
 	"gretel/internal/core"
 	"gretel/internal/fingerprint"
+	"gretel/internal/openstack"
 	"gretel/internal/rca"
 	"gretel/internal/replay"
 	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
+	"gretel/internal/tracestore"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":6166", "address to receive agent event streams on")
-		libPath   = flag.String("library", "", "fingerprint library JSON (from gretel-fingerprint)")
-		seed      = flag.Int64("seed", 1, "catalog seed used when -library is not given")
-		alpha     = flag.Int("alpha", 0, "sliding window size (0 = derive from FPmax/Prate/t)")
-		prate     = flag.Float64("prate", 150, "expected message rate (packets/s) for window sizing")
-		horizonT  = flag.Float64("t", 1, "window time horizon t in seconds")
-		perf      = flag.Bool("perf", true, "enable performance-fault detection")
-		quiet     = flag.Bool("quiet", false, "suppress per-report output; print only the summary")
-		jsonOut   = flag.Bool("json", false, "emit reports as JSON lines instead of text")
-		telAddr   = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6167; empty disables)")
-		workers   = flag.Int("detect-workers", runtime.GOMAXPROCS(0), "detection worker pool size (0 = detect inline on the receive path)")
-		backlog   = flag.Int("detect-backlog", 0, "bounded detect queue capacity (0 = 4x workers)")
-		shed      = flag.Bool("detect-shed", false, "shed snapshots when the detect queue is full instead of applying backpressure")
-		downAfter = flag.Duration("down-after", 5*time.Second, "declare an agent down after this long without frames or heartbeats (0 disables liveness tracking)")
+		listen     = flag.String("listen", ":6166", "address to receive agent event streams on")
+		libPath    = flag.String("library", "", "fingerprint library JSON (from gretel-fingerprint)")
+		seed       = flag.Int64("seed", 1, "catalog seed used when -library is not given")
+		alpha      = flag.Int("alpha", 0, "sliding window size (0 = derive from FPmax/Prate/t)")
+		prate      = flag.Float64("prate", 150, "expected message rate (packets/s) for window sizing")
+		horizonT   = flag.Float64("t", 1, "window time horizon t in seconds")
+		perf       = flag.Bool("perf", true, "enable performance-fault detection")
+		quiet      = flag.Bool("quiet", false, "suppress per-report output; print only the summary")
+		jsonOut    = flag.Bool("json", false, "emit reports as JSON lines instead of text")
+		telAddr    = flag.String("telemetry", "", "serve /metrics and /debug/pprof on this address (e.g. :6167; empty disables)")
+		workers    = flag.Int("detect-workers", runtime.GOMAXPROCS(0), "detection worker pool size (0 = detect inline on the receive path)")
+		backlog    = flag.Int("detect-backlog", 0, "bounded detect queue capacity (0 = 4x workers)")
+		shed       = flag.Bool("detect-shed", false, "shed snapshots when the detect queue is full instead of applying backpressure")
+		downAfter  = flag.Duration("down-after", 5*time.Second, "declare an agent down after this long without frames or heartbeats (0 disables liveness tracking)")
+		explain    = flag.Bool("explain", false, "record a full evidence trace per report, browsable at /traces on the telemetry address")
+		traceCap   = flag.Int("trace-store-cap", tracestore.DefaultCap, "max evidence traces held in memory (oldest evicted first, evictions counted)")
+		replayN    = flag.Int("replay", 0, "self-test mode: synthesize this many catalog-workload events and drive them instead of listening for agents")
+		faultEvery = flag.Int("fault-every", 1000, "with -replay, inject one fault per this many messages")
+		linger     = flag.Duration("linger", 0, "with -replay, keep telemetry endpoints serving this long after the run")
 	)
 	flag.Parse()
 
+	var traces *tracestore.Store
+	if *explain {
+		traces = tracestore.New(*traceCap)
+	}
+
 	if *telAddr != "" {
-		bound, _, err := telemetry.Serve(*telAddr, nil)
+		var mounts []telemetry.Mount
+		if traces != nil {
+			h := traces.Handler()
+			mounts = append(mounts,
+				telemetry.Mount{Pattern: "/traces", Handler: h},
+				telemetry.Mount{Pattern: "/traces/", Handler: h})
+		}
+		bound, _, err := telemetry.Serve(*telAddr, nil, mounts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)", bound)
+		if traces != nil {
+			log.Printf("telemetry on http://%s/metrics (traces at /traces, pprof at /debug/pprof/)", bound)
+		} else {
+			log.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)", bound)
+		}
 	}
 
 	var lib *fingerprint.Library
@@ -94,7 +130,15 @@ func main() {
 	})
 	// Root-cause analysis over the distributed state the agents stream in.
 	store := rca.NewStore()
-	analyzer.SetRCA(rca.NewEngine(lib, store, rca.Config{}).Hook())
+	engine := rca.NewEngine(lib, store, rca.Config{})
+	if traces != nil {
+		// Explain mode: evidence traces per report, and the RCA hook that
+		// also surfaces the metric windows and watcher statuses it judged.
+		analyzer.SetExplain(traces)
+		analyzer.SetRCAExplain(engine.ExplainHook())
+	} else {
+		analyzer.SetRCA(engine.Hook())
+	}
 	if !*quiet {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
@@ -108,25 +152,45 @@ func main() {
 		}
 	}
 
-	recv, err := agent.ListenConfig(agent.ReceiverConfig{Addr: *listen, DownAfter: *downAfter})
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("analyzer listening on %s (alpha=%d)", recv.Addr(), analyzer.Config().Alpha)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	go func() {
-		<-sig
-		log.Print("interrupt: draining")
-		recv.Close()
-	}()
-
+	var res replay.Result
 	start := time.Now()
-	// Drain events, state updates, and monitoring-plane health records on
-	// one goroutine: gaps and dark agents degrade the analyzer gracefully
-	// instead of silently corrupting fingerprint matching.
-	res := replay.DriveTransport(analyzer, recv, store.Apply)
+	if *replayN > 0 {
+		// Self-test mode: a deterministic catalog workload with injected
+		// faults, same shape as the Fig. 8c throughput experiments.
+		cat := tempest.NewCatalog(*seed)
+		var ops []*openstack.Operation
+		for i, test := range cat.Tests {
+			if i%6 == 0 {
+				ops = append(ops, test.Op)
+			}
+		}
+		events := replay.Synthesize(replay.StreamConfig{
+			Ops: ops, Concurrency: 400, Events: *replayN,
+			FaultEvery: *faultEvery, Seed: *seed,
+		})
+		log.Printf("replaying %d synthesized events (one fault per %d, alpha=%d)",
+			len(events), *faultEvery, analyzer.Config().Alpha)
+		res = replay.Drive(analyzer, events)
+	} else {
+		recv, err := agent.ListenConfig(agent.ReceiverConfig{Addr: *listen, DownAfter: *downAfter})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("analyzer listening on %s (alpha=%d)", recv.Addr(), analyzer.Config().Alpha)
+
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			log.Print("interrupt: draining")
+			recv.Close()
+		}()
+
+		// Drain events, state updates, and monitoring-plane health records on
+		// one goroutine: gaps and dark agents degrade the analyzer gracefully
+		// instead of silently corrupting fingerprint matching.
+		res = replay.DriveTransport(analyzer, recv, store.Apply)
+	}
 
 	st := analyzer.Stats
 	elapsed := time.Since(start)
@@ -145,6 +209,10 @@ func main() {
 	}
 	if st.PairsEvicted > 0 {
 		fmt.Printf("evicted:   %d unpaired requests aged out\n", st.PairsEvicted)
+	}
+	if traces != nil {
+		fmt.Printf("traces:    %d evidence traces stored, %d evicted (cap %d, live %d)\n",
+			res.TracesStored, res.TracesEvicted, traces.Cap(), traces.Len())
 	}
 	if wm := telemetry.GetHistogram("core.window_match").Stats(); wm.Count > 0 {
 		fmt.Printf("detect:    window-match p50=%.2fms p99=%.2fms max=%.2fms over %d snapshots\n",
@@ -168,6 +236,11 @@ func main() {
 				s.Summary.Quantile(0.99)*1000, s.Summary.Count())
 		}
 	}
+
+	if *replayN > 0 && *telAddr != "" && *linger > 0 {
+		log.Printf("lingering %v for trace/metric queries", *linger)
+		time.Sleep(*linger)
+	}
 }
 
 func printReport(rep *core.Report) {
@@ -190,6 +263,9 @@ func printReport(rep *core.Report) {
 	}
 	for _, rc := range rep.RootCauses {
 		fmt.Printf("  root cause: %s\n", rc)
+	}
+	if rep.TraceID != 0 {
+		fmt.Printf("  evidence: trace %d (/traces/%d)\n", rep.TraceID, rep.TraceID)
 	}
 	if len(rep.DegradedNodes) > 0 {
 		fmt.Printf("  degraded confidence: monitoring gaps on %s\n", strings.Join(rep.DegradedNodes, ", "))

@@ -23,6 +23,7 @@ import (
 	"gretel/internal/stats"
 	"gretel/internal/telemetry"
 	"gretel/internal/trace"
+	"gretel/internal/tracestore"
 	"gretel/internal/tsoutliers"
 	"gretel/internal/window"
 )
@@ -115,10 +116,19 @@ type Report struct {
 	// snapshot may be missing that node's messages, so the candidate set
 	// is lower-confidence. Empty on a healthy monitoring plane.
 	DegradedNodes []string
+	// TraceID links the report to its evidence trace in the installed
+	// trace store (explain mode). Zero — and omitted from JSON — when
+	// explain mode is off, keeping reports byte-identical to a run
+	// without the subsystem.
+	TraceID uint64 `json:",omitempty"`
 
 	// TruthOp is ground truth (evaluation only): the operation that
 	// actually contained the fault.
 	TruthOp string
+
+	// evidence is the in-flight evidence trace, carried from the detect
+	// worker to finish, which stores it. Nil outside explain mode.
+	evidence *tracestore.Trace
 }
 
 // Hit reports whether ground truth is among the candidates (evaluation).
@@ -301,8 +311,15 @@ type Analyzer struct {
 	// concurrent detect workers populate it.
 	leanCache sync.Map // string -> *fingerprint.Fingerprint
 
-	onReport func(*Report)
-	rca      func(*Report) []RootCause
+	onReport   func(*Report)
+	rca        func(*Report) []RootCause
+	rcaExplain func(*Report) ([]RootCause, *tracestore.RCAEvidence)
+
+	// explain is the evidence-trace store (nil unless explain mode is
+	// on); traceSeq assigns trace IDs on the receiver goroutine, in
+	// fault-arrival order, so IDs are identical across worker counts.
+	explain  *tracestore.Store
+	traceSeq uint64
 
 	reports []*Report
 	Stats   Stats
@@ -635,8 +652,11 @@ func (a *Analyzer) match(fp *fingerprint.Fingerprint, pattern []rune, idx *finge
 // detect runs Algorithm 2 over a filled snapshot and returns the report.
 // It reads only immutable analyzer state (config, library, lean cache)
 // plus the snapshot, so concurrent detect workers may run it in
-// parallel; all mutable bookkeeping happens in finish.
-func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Duration, snap *window.Snapshot) *Report {
+// parallel; all mutable bookkeeping happens in finish. traceID is
+// nonzero only in explain mode, in which case detect also assembles the
+// report's evidence trace (explain.go) — here on the worker, never on
+// the ingest path.
+func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Duration, snap *window.Snapshot, traceID uint64) *Report {
 	mDetectAttempts.Inc()
 	span := hWindowMatch.Start()
 	rep := &Report{
@@ -647,6 +667,10 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 		TruthOp:    faultEv.OpName,
 	}
 	rep.ReportDelay = rep.DetectedAt.Sub(faultEv.Time)
+	if traceID != 0 {
+		rep.TraceID = traceID
+		rep.evidence = a.newEvidence(traceID, faultEv, kind, latency, snap)
+	}
 
 	// Gather every error message in the snapshot (REST and RPC are
 	// analyzed together, §5.3.1); the earliest is the most upstream
@@ -679,6 +703,12 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 	rep.CandidatesByErrorOnly = len(uniqueNames)
 	if len(cands) == 0 {
 		rep.Precision = 0
+		if rep.evidence != nil {
+			// No fingerprint contains the offending API: the whole window
+			// is the evidence for the empty verdict.
+			recordErrors(rep.evidence, rep.Errors)
+			a.finalizeEvidence(rep.evidence, rep, snap.Events)
+		}
 		span.End()
 		return rep
 	}
@@ -692,14 +722,16 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 	for _, c := range cands {
 		fp := c
 		key := rune(0)
+		truncated := false
 		if kind == Operational {
 			if t := c.Truncate(offSym); t != nil {
 				fp = t
 				key = offSym
+				truncated = true
 			}
 		}
 		fp = a.lean(fp, key)
-		preps = append(preps, prepared{c.Name, fp})
+		preps = append(preps, prepared{c.Name, fp, truncated})
 	}
 
 	var matched []string
@@ -709,6 +741,10 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 		corrID = faultEv.CorrID
 	}
 	pat := a.snapshotPattern(snap, corrID)
+	if rep.evidence != nil {
+		rep.evidence.CorrID = corrID
+		recordErrors(rep.evidence, rep.Errors)
+	}
 	if kind == Performance {
 		beta = a.cfg.Alpha
 		for _, p := range preps {
@@ -716,8 +752,17 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 				matched = append(matched, p.name)
 			}
 		}
+		if rep.evidence != nil {
+			// No growth loop for performance faults: the whole window is
+			// matched at once.
+			rep.evidence.Growth = []tracestore.GrowthStep{{
+				Beta: beta, Lo: 0, Hi: len(snap.Events),
+				Pattern: len(pat.syms), Matched: append([]string(nil), matched...),
+				Covered: true,
+			}}
+		}
 	} else {
-		matched, beta = a.growContext(snap, preps, &pat, corrID)
+		matched, beta = a.growContext(snap, preps, &pat, corrID, rep.evidence)
 	}
 
 	rep.Candidates = matched
@@ -729,6 +774,22 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 	} else {
 		rep.Precision = 1
 	}
+	if rep.evidence != nil {
+		// Explain every candidate against the FINAL context buffer —
+		// exactly the view the verdict came from.
+		var pattern []rune
+		var idx *fingerprint.SnapshotIndex
+		ctx := snap.Events
+		if kind == Performance {
+			pattern, idx = pat.syms, pat.idx
+		} else {
+			lo, hi := snap.ContextBounds(beta)
+			pattern, idx = pat.view(lo, hi)
+			ctx = snap.Events[lo:hi]
+		}
+		a.explainCandidates(rep.evidence, preps, pattern, idx, corrID != "")
+		a.finalizeEvidence(rep.evidence, rep, ctx)
+	}
 	span.End()
 	return rep
 }
@@ -736,15 +797,18 @@ func (a *Analyzer) detect(faultEv trace.Event, kind FaultKind, latency time.Dura
 // prepared pairs a candidate operation name with the (truncated, possibly
 // RPC-pruned) fingerprint it is matched by.
 type prepared struct {
-	name string
-	fp   *fingerprint.Fingerprint
+	name      string
+	fp        *fingerprint.Fingerprint
+	truncated bool
 }
 
 // growContext iterates the context buffer from β₀ by δ per side, stopping
 // as soon as the precision drops (the matched set grows), per §5.3.1.
 // The snapshot's pattern and occurrence index were built once by the
 // caller; each β step re-slices them (O(α) total instead of O(α²)).
-func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, pat *snapPattern, corrID string) ([]string, int) {
+// When ev is non-nil (explain mode) every step — including the final,
+// discarded one the stop rule rejects — is recorded in the evidence.
+func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, pat *snapPattern, corrID string, ev *tracestore.Trace) ([]string, int) {
 	beta0 := int(a.cfg.C1 * float64(a.cfg.Alpha))
 	delta := int(a.cfg.C2 * float64(a.cfg.Alpha))
 	if beta0 < 2 {
@@ -767,11 +831,20 @@ func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, pat *sna
 				matched = append(matched, p.name)
 			}
 		}
-		if !a.cfg.GrowToCover && corrID == "" && len(prev) > 0 && len(matched) > len(prev) {
+		stopped := !a.cfg.GrowToCover && corrID == "" && len(prev) > 0 && len(matched) > len(prev)
+		covered := snap.Covered(beta)
+		if ev != nil {
+			ev.Growth = append(ev.Growth, tracestore.GrowthStep{
+				Beta: beta, Lo: lo, Hi: hi, Pattern: len(pattern),
+				Matched: append([]string(nil), matched...),
+				Stopped: stopped, Covered: covered && !stopped,
+			})
+		}
+		if stopped {
 			// Precision dropped: keep the tighter previous set.
 			return prev, prevBeta
 		}
-		if snap.Covered(beta) {
+		if covered {
 			return matched, beta
 		}
 		prev, prevBeta = matched, beta
@@ -790,7 +863,15 @@ func (a *Analyzer) finish(rep *Report) {
 		mDetectMisses.Inc()
 		a.Stats.FalseNegs++
 	}
-	if a.rca != nil {
+	if a.rcaExplain != nil {
+		span := hRCA.Start()
+		var rcaEv *tracestore.RCAEvidence
+		rep.RootCauses, rcaEv = a.rcaExplain(rep)
+		if rep.evidence != nil {
+			rep.evidence.RCA = rcaEv
+		}
+		span.End()
+	} else if a.rca != nil {
 		span := hRCA.Start()
 		rep.RootCauses = a.rca(rep)
 		span.End()
@@ -798,6 +879,18 @@ func (a *Analyzer) finish(rep *Report) {
 	a.Stats.Reports++
 	a.Stats.MatchedTotal += uint64(len(rep.Candidates))
 	a.reports = append(a.reports, rep)
+	if ev := rep.evidence; ev != nil {
+		// finish runs in fault-arrival order in both inline and pooled
+		// modes, so store contents and eviction order are deterministic.
+		for _, rc := range rep.RootCauses {
+			ev.RootCauses = append(ev.RootCauses, rc.String())
+		}
+		ev.DegradedNodes = rep.DegradedNodes
+		if a.explain != nil {
+			a.explain.Put(ev)
+		}
+		rep.evidence = nil
+	}
 	if a.onReport != nil {
 		a.onReport(rep)
 	}

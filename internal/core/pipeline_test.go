@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gretel/internal/trace"
+	"gretel/internal/tracestore"
 )
 
 // driveFaulty pushes a deterministic multi-fault stream through an
@@ -13,7 +14,14 @@ import (
 // with a failing op-c request, with background filler so every snapshot
 // fills mid-stream.
 func driveFaulty(cfg Config) *Analyzer {
+	return driveFaultyExplain(cfg, nil)
+}
+
+// driveFaultyExplain is driveFaulty with an evidence-trace store
+// installed when non-nil (explain mode).
+func driveFaultyExplain(cfg Config, store *tracestore.Store) *Analyzer {
 	a := newAnalyzer(cfg)
+	a.SetExplain(store)
 	s := &stream{a: a}
 	for i := 0; i < 30; i++ {
 		id := uint64(i * 10)

@@ -13,6 +13,7 @@ import (
 	"gretel/internal/openstack"
 	"gretel/internal/tempest"
 	"gretel/internal/trace"
+	"gretel/internal/tracestore"
 )
 
 // PrecisionCell aggregates one parallel-workload run.
@@ -85,6 +86,9 @@ type ParallelRun struct {
 	CorrelationIDs bool
 	// CaptureEvents, when non-nil, receives every ingested event (debug).
 	CaptureEvents *[]trace.Event
+	// TraceStore, when non-nil, turns on explain mode: every report's
+	// evidence trace is recorded into it.
+	TraceStore *tracestore.Store
 	// T is the α time horizon in seconds. Per §5.3.1, "a bigger value of
 	// t ensures that the sliding window is big enough to determine the
 	// largest operation": it must cover a typical operation's duration.
@@ -124,6 +128,7 @@ func (pr *ParallelRun) runCollect(reportsOut *[]*core.Report) PrecisionCell {
 	d.Injector = plan
 
 	analyzer := core.New(pr.Library, pr.Analyzer)
+	analyzer.SetExplain(pr.TraceStore)
 	sink := analyzer.Ingest
 	if pr.CaptureEvents != nil {
 		sink = func(ev trace.Event) {

@@ -1,0 +1,138 @@
+// Explainable matching: every Match* verdict can be re-run through an
+// Explain* twin that records the evidence — how many mandatory symbols
+// were satisfied, which omissions the relaxed semantics tolerated, and
+// the concrete reason a losing candidate lost. The explain path reuses
+// the production walk (matchOrdered) wherever one exists, so verdicts
+// cannot drift between what the analyzer decided and what the evidence
+// trace claims.
+package fingerprint
+
+import (
+	"fmt"
+
+	"gretel/internal/symbol"
+)
+
+// Explanation is the evidence behind one fingerprint-vs-snapshot verdict.
+type Explanation struct {
+	// Matched is the verdict, identical to the corresponding Match*.
+	Matched bool
+	// Mode names the matcher: "relaxed", "exact", "strict", "correlated".
+	Mode string
+	// MandatoryTotal is the size of the match obligation: mandatory
+	// symbols for the ordered walks, full symbol count for strict.
+	MandatoryTotal int
+	// Satisfied counts obligation symbols found in order.
+	Satisfied int
+	// Omitted counts mandatory symbols absent from the snapshot that the
+	// relaxed semantics tolerated.
+	Omitted int
+	// Coverage is the fraction of the correlation-filtered pattern the
+	// fingerprint explains (correlated mode only).
+	Coverage float64
+	// Score is the fraction of the obligation satisfied — Satisfied /
+	// MandatoryTotal for the ordered and strict walks, Coverage for
+	// correlated. 1.0 on a match.
+	Score float64
+	// Reason is the concrete rejection reason; empty when Matched.
+	Reason string
+
+	tbl *symbol.Table
+}
+
+// sym renders a symbol as its API name when a table is available.
+func (e *Explanation) sym(r rune) string {
+	if e.tbl != nil {
+		if api, ok := e.tbl.API(r); ok {
+			return api.String()
+		}
+	}
+	return fmt.Sprintf("symbol U+%04X", r)
+}
+
+// ExplainRelaxed is MatchRelaxedIndexed with evidence: same walk, same
+// verdict, plus the score and rejection reason.
+func (f *Fingerprint) ExplainRelaxed(idx *SnapshotIndex, tbl *symbol.Table) Explanation {
+	return f.explainOrdered(idx, tbl, true, "relaxed")
+}
+
+// ExplainExact is MatchExactIndexed with evidence.
+func (f *Fingerprint) ExplainExact(idx *SnapshotIndex, tbl *symbol.Table) Explanation {
+	return f.explainOrdered(idx, tbl, false, "exact")
+}
+
+func (f *Fingerprint) explainOrdered(idx *SnapshotIndex, tbl *symbol.Table, allowOmission bool, mode string) Explanation {
+	exp := Explanation{Mode: mode, tbl: tbl}
+	ok, matched := f.matchOrdered(idx, allowOmission, &exp)
+	exp.Matched = ok
+	exp.Satisfied = matched
+	if exp.MandatoryTotal > 0 {
+		exp.Score = float64(matched) / float64(exp.MandatoryTotal)
+	}
+	if ok {
+		exp.Score = 1
+	}
+	return exp
+}
+
+// ExplainStrict is MatchStrict with evidence: the full-sequence
+// subsequence walk, recording where it stalled.
+func (f *Fingerprint) ExplainStrict(snapshot []rune, tbl *symbol.Table) Explanation {
+	exp := Explanation{Mode: "strict", tbl: tbl, MandatoryTotal: len(f.Symbols)}
+	if len(f.Symbols) == 0 {
+		// isSubsequence vacuously matches an empty pattern; mirror it.
+		exp.Matched = true
+		exp.Score = 1
+		return exp
+	}
+	i := 0
+	for _, r := range snapshot {
+		if r == f.Symbols[i] {
+			i++
+			if i == len(f.Symbols) {
+				break
+			}
+		}
+	}
+	exp.Satisfied = i
+	exp.Matched = i == len(f.Symbols)
+	exp.Score = float64(i) / float64(len(f.Symbols))
+	if !exp.Matched {
+		exp.Reason = fmt.Sprintf(
+			"strict subsequence stalled at symbol %d of %d: no %s after the match point",
+			i+1, len(f.Symbols), exp.sym(f.Symbols[i]))
+	}
+	return exp
+}
+
+// ExplainCorrelated is MatchCorrelated with evidence: the coverage
+// computation over the correlation-filtered pattern, verbatim.
+func (f *Fingerprint) ExplainCorrelated(idx *SnapshotIndex, tbl *symbol.Table) Explanation {
+	exp := Explanation{Mode: "correlated", tbl: tbl, MandatoryTotal: len(f.Symbols)}
+	n := idx.Len()
+	if n == 0 || len(f.Symbols) == 0 {
+		exp.Reason = "empty correlation-filtered pattern or empty fingerprint"
+		return exp
+	}
+	final := f.Symbols[len(f.Symbols)-1]
+	if !idx.contains(final) {
+		exp.Reason = fmt.Sprintf(
+			"offending symbol %s absent from the correlation-filtered pattern", exp.sym(final))
+		return exp
+	}
+	set := f.SymbolSet()
+	covered := 0
+	for sym := range set {
+		covered += idx.count(sym)
+	}
+	exp.Coverage = float64(covered) / float64(n)
+	exp.Score = exp.Coverage
+	exp.Satisfied = covered
+	exp.Matched = float64(covered) >= corrCoverage*float64(n)
+	if !exp.Matched {
+		exp.Reason = fmt.Sprintf(
+			"fingerprint explains only %d of %d pattern occurrences (%.0f%%, below the %.0f%% coverage bar)",
+			covered, n, exp.Coverage*100, corrCoverage*100)
+	}
+	return exp
+}

@@ -222,14 +222,14 @@ func (f *Fingerprint) MatchRelaxed(snapshot []rune) bool {
 
 // MatchRelaxedIndexed is MatchRelaxed over a pre-built index.
 func (f *Fingerprint) MatchRelaxedIndexed(idx *SnapshotIndex) bool {
-	ok, _ := f.matchOrdered(idx, true)
+	ok, _ := f.matchOrdered(idx, true, nil)
 	return ok
 }
 
 // MatchExactIndexed requires every mandatory (state-change) symbol to be
 // present in order, with no omissions.
 func (f *Fingerprint) MatchExactIndexed(idx *SnapshotIndex) bool {
-	ok, _ := f.matchOrdered(idx, false)
+	ok, _ := f.matchOrdered(idx, false, nil)
 	return ok
 }
 
@@ -265,10 +265,21 @@ func (f *Fingerprint) MatchCorrelated(idx *SnapshotIndex) bool {
 // matching candidate's fingerprint must explain.
 const corrCoverage = 0.95
 
-func (f *Fingerprint) matchOrdered(idx *SnapshotIndex, allowOmission bool) (bool, int) {
+// matchOrdered is the shared ordered walk behind the relaxed and exact
+// matchers. When exp is non-nil (the explain path) it records, without
+// changing the verdict, the walk's evidence: the mandatory-symbol total,
+// omissions tolerated, and — on failure — the concrete rejection reason.
+// The hot path passes nil and pays nothing.
+func (f *Fingerprint) matchOrdered(idx *SnapshotIndex, allowOmission bool, exp *Explanation) (bool, int) {
 	pattern := f.mandatory()
 	if len(pattern) == 0 {
+		if exp != nil {
+			exp.Reason = "empty fingerprint: no mandatory symbols to match"
+		}
 		return false, 0
+	}
+	if exp != nil {
+		exp.MandatoryTotal = len(pattern)
 	}
 	j := idx.lo
 	matched := 0
@@ -278,12 +289,29 @@ func (f *Fingerprint) matchOrdered(idx *SnapshotIndex, allowOmission bool) (bool
 			if idx.contains(p) {
 				// Present in the snapshot, but only before our match
 				// point: the state-change order is violated.
+				if exp != nil {
+					exp.Reason = fmt.Sprintf(
+						"order violated: %s occurs in the context buffer only before the match point (after %d of %d mandatory symbols)",
+						exp.sym(p), matched, len(pattern))
+				}
 				return false, matched
 			}
 			if !allowOmission || i == len(pattern)-1 {
 				// Absent symbol: fatal in exact mode, and the offending
 				// (final) symbol must be present in every mode.
+				if exp != nil {
+					if i == len(pattern)-1 {
+						exp.Reason = fmt.Sprintf(
+							"offending symbol %s absent from the context buffer", exp.sym(p))
+					} else {
+						exp.Reason = fmt.Sprintf(
+							"%s absent from the context buffer (exact mode tolerates no omissions)", exp.sym(p))
+					}
+				}
 				return false, matched
+			}
+			if exp != nil {
+				exp.Omitted++
 			}
 			continue // absent from the snapshot: omission allowed
 		}

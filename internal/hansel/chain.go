@@ -1,0 +1,86 @@
+// Fault-chain extraction for evidence traces: GRETEL's explain mode
+// borrows HANSEL's identifier stitching to show the cross-operation
+// links around a fault — evidence the fingerprint span tree cannot
+// show, because it groups messages by exchange rather than by shared
+// payload identifier.
+package hansel
+
+import (
+	"gretel/internal/trace"
+	"time"
+)
+
+// Link is one event tied to a fault by identifier stitching, annotated
+// with the identifier that linked it.
+type Link struct {
+	Seq  uint64
+	Time time.Time
+	API  trace.API
+	// Ident is the identifier shared with the fault event when one
+	// exists, otherwise the identifier that first linked this event into
+	// the chain.
+	Ident string
+}
+
+// FaultChain stitches the given events (a frozen window slice, in
+// arrival order) and returns the chain containing the fault event,
+// identified by sequence number, as ordered links. It is a pure
+// function of its inputs — deterministic across runs and worker
+// counts — and returns nil when no chain contains the fault.
+func FaultChain(events []trace.Event, faultSeq uint64, cfg Config) []Link {
+	if len(events) == 0 {
+		return nil
+	}
+	s := New(cfg)
+	last := events[0].Time
+	for _, ev := range events {
+		s.Ingest(ev)
+		if ev.Time.After(last) {
+			last = ev.Time
+		}
+	}
+	s.Flush(last)
+
+	// The fault's sequence number appears in exactly one chain (every
+	// stitched event lands in one chain; merges preserve membership), so
+	// this map walk has a unique, order-independent result.
+	var chain *Chain
+	var fault *trace.Event
+	for _, c := range s.chains {
+		for i := range c.Events {
+			if c.Events[i].Seq == faultSeq {
+				chain = c
+				fault = &c.Events[i]
+				break
+			}
+		}
+		if chain != nil {
+			break
+		}
+	}
+	if chain == nil {
+		return nil
+	}
+
+	faultIDs := map[string]bool{}
+	for _, id := range s.identifiers(fault) {
+		faultIDs[id] = true
+	}
+	links := make([]Link, 0, len(chain.Events))
+	for i := range chain.Events {
+		ev := &chain.Events[i]
+		ids := s.identifiers(ev)
+		ident := ""
+		if len(ids) > 0 {
+			ident = ids[0]
+			for _, id := range ids {
+				if faultIDs[id] {
+					ident = id
+					break
+				}
+			}
+		}
+		links = append(links, Link{Seq: ev.Seq, Time: ev.Time, API: ev.API, Ident: ident})
+	}
+	return links
+}

@@ -28,6 +28,7 @@ import (
 	"gretel/internal/metrics"
 	"gretel/internal/telemetry"
 	"gretel/internal/trace"
+	"gretel/internal/tracestore"
 	"gretel/internal/tsoutliers"
 )
 
@@ -184,9 +185,28 @@ func (e *Engine) Hook() func(*core.Report) []core.RootCause {
 	return e.Analyze
 }
 
+// ExplainHook adapts the engine to the analyzer's explaining RCA hook
+// signature: the same verdict as Hook, plus the evidence — every node
+// examined, in order, with the watcher statuses and metric windows
+// judged on it. Install with core.Analyzer.SetRCAExplain.
+func (e *Engine) ExplainHook() func(*core.Report) ([]core.RootCause, *tracestore.RCAEvidence) {
+	return func(rep *core.Report) ([]core.RootCause, *tracestore.RCAEvidence) {
+		ev := &tracestore.RCAEvidence{}
+		causes := e.analyze(rep, ev)
+		return causes, ev
+	}
+}
+
 // Analyze implements GET_ROOT_CAUSE: error nodes first, then the
 // remaining operation nodes.
 func (e *Engine) Analyze(rep *core.Report) []core.RootCause {
+	return e.analyze(rep, nil)
+}
+
+// analyze is the shared implementation; when ev is non-nil it records
+// the evidence behind the verdict. The recording never changes the
+// verdict: both paths run the identical node walks and judgments.
+func (e *Engine) analyze(rep *core.Report, ev *tracestore.RCAEvidence) []core.RootCause {
 	mInvocations.Inc()
 	at := rep.Fault.Time
 	nodes := e.src.NodeStates()
@@ -223,9 +243,9 @@ func (e *Engine) Analyze(rep *core.Report) []core.RootCause {
 		}
 	}
 
-	causes := e.findRootCause(first, at)
+	causes := e.findRootCause(first, at, "error", ev)
 	if len(causes) == 0 {
-		causes = e.findRootCause(rest, at)
+		causes = e.findRootCause(rest, at, "operation", ev)
 	}
 	for _, c := range causes {
 		switch c.Kind {
@@ -269,39 +289,70 @@ func (e *Engine) nodesForOperations(names []string, nodes []agent.NodeState) map
 }
 
 // findRootCause implements FIND_ROOT_CAUSE over a node list: anomalies in
-// resource metadata, then software-dependency health.
-func (e *Engine) findRootCause(nodes []agent.NodeState, at time.Time) []core.RootCause {
+// resource metadata, then software-dependency health. With ev non-nil
+// each examined node is appended to the evidence — its stage, watcher
+// statuses, metric windows, and the findings it produced.
+func (e *Engine) findRootCause(nodes []agent.NodeState, at time.Time, stage string, ev *tracestore.RCAEvidence) []core.RootCause {
 	var out []core.RootCause
 	for _, n := range nodes {
-		out = append(out, e.resourceAnomalies(n, at)...)
+		var rec *tracestore.RCANode
+		if ev != nil {
+			ev.Nodes = append(ev.Nodes, tracestore.RCANode{Node: n.Name, Stage: stage, Up: n.Up})
+			rec = &ev.Nodes[len(ev.Nodes)-1]
+			for _, dep := range n.Deps {
+				rec.Deps = append(rec.Deps, tracestore.RCADep{Name: dep.Name, Running: dep.Running})
+			}
+		}
+		found := e.resourceAnomalies(n, at, rec)
 		for _, dep := range n.Deps {
 			if !dep.Running || !n.Up {
 				detail := fmt.Sprintf("dependency %s is not running", dep.Name)
 				if !n.Up {
 					detail = fmt.Sprintf("node down (dependency %s unreachable)", dep.Name)
 				}
-				out = append(out, core.RootCause{Node: n.Name, Kind: "software", Detail: detail})
+				found = append(found, core.RootCause{Node: n.Name, Kind: "software", Detail: detail})
 			}
 		}
+		if rec != nil {
+			for _, c := range found {
+				rec.Findings = append(rec.Findings, c.Detail)
+			}
+		}
+		out = append(out, found...)
 	}
 	return out
 }
 
 // resourceAnomalies judges one node's metric windows: hard thresholds
 // (disk nearly full, CPU pegged, memory exhausted) plus level shifts in
-// the CPU and network series.
-func (e *Engine) resourceAnomalies(n agent.NodeState, at time.Time) []core.RootCause {
+// the CPU and network series. With rec non-nil every inspected series is
+// recorded in a fixed order (disk, memory, CPU, network) — the recording
+// never alters the judgment.
+func (e *Engine) resourceAnomalies(n agent.NodeState, at time.Time, rec *tracestore.RCANode) []core.RootCause {
 	var out []core.RootCause
 	from := at.Add(-e.cfg.Lookback)
 	snap := e.src.MetricWindow(n.Name, from, at)
 
+	record := func(name string, pts []metrics.Point, shifted bool, to float64) {
+		if rec == nil {
+			return
+		}
+		st := metrics.Summarize(pts)
+		rec.Metrics = append(rec.Metrics, tracestore.RCAMetric{
+			Name: name, Samples: len(pts), Last: pts[len(pts)-1].Value,
+			Mean: st.Mean, Shifted: shifted, ShiftTo: to,
+		})
+	}
+
 	if pts := snap[metrics.MetricDiskFree]; len(pts) > 0 {
+		record(metrics.MetricDiskFree, pts, false, 0)
 		if last := pts[len(pts)-1].Value; last < e.cfg.DiskLowGB {
 			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
 				Detail: fmt.Sprintf("low free disk space (%.1f GB)", last)})
 		}
 	}
 	if pts := snap[metrics.MetricMemUsed]; len(pts) > 0 {
+		record(metrics.MetricMemUsed, pts, false, 0)
 		if last := pts[len(pts)-1].Value; n.MemTotalMB > 0 && last > e.cfg.MemHighFrac*n.MemTotalMB {
 			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
 				Detail: fmt.Sprintf("memory exhaustion (%.0f MB used)", last)})
@@ -310,6 +361,7 @@ func (e *Engine) resourceAnomalies(n agent.NodeState, at time.Time) []core.RootC
 	if pts := snap[metrics.MetricCPU]; len(pts) > 0 {
 		st := metrics.Summarize(pts)
 		shifted, to := e.levelShift(pts)
+		record(metrics.MetricCPU, pts, shifted, to)
 		switch {
 		case st.Mean > e.cfg.CPUHighPct:
 			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
@@ -320,7 +372,9 @@ func (e *Engine) resourceAnomalies(n agent.NodeState, at time.Time) []core.RootC
 		}
 	}
 	if pts := snap[metrics.MetricNet]; len(pts) > 0 {
-		if shifted, to := e.levelShift(pts); shifted && to > 50 {
+		shifted, to := e.levelShift(pts)
+		record(metrics.MetricNet, pts, shifted, to)
+		if shifted && to > 50 {
 			out = append(out, core.RootCause{Node: n.Name, Kind: "resource",
 				Detail: fmt.Sprintf("network throughput surge (%.1f Mbps)", to)})
 		}

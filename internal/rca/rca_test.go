@@ -17,6 +17,7 @@ import (
 	"gretel/internal/rca"
 	"gretel/internal/scenario"
 	"gretel/internal/trace"
+	"gretel/internal/tracestore"
 	"gretel/internal/tsoutliers"
 )
 
@@ -444,4 +445,98 @@ func TestRCAHealthyMetricsNoCauses(t *testing.T) {
 	if causes := analyzeOne(store, at, "neutron-node"); len(causes) != 0 {
 		t.Fatalf("healthy node produced causes: %v", causes)
 	}
+}
+
+// TestExplainHookMatchesAnalyze is the RCA no-drift contract: the
+// explaining hook must return exactly Analyze's causes, plus evidence
+// recording every node examined with its metric windows and findings.
+func TestExplainHookMatchesAnalyze(t *testing.T) {
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = 96 // pegged CPU
+	}
+	store, at := fabricate("neutron-node", 131072, "cpu", series)
+	lib := scenario.CoreLibrary()
+	engine := rca.NewEngine(lib, store, rca.Config{})
+	rep := &core.Report{
+		Kind:   core.Operational,
+		Fault:  trace.Event{SrcNode: "neutron-node", Time: at},
+		Errors: []trace.Event{{SrcNode: "neutron-node"}},
+	}
+
+	plain := engine.Analyze(rep)
+	causes, ev := engine.ExplainHook()(rep)
+	if len(plain) == 0 {
+		t.Fatal("no causes from Analyze; scenario degenerated")
+	}
+	if len(causes) != len(plain) {
+		t.Fatalf("explain causes = %v, Analyze = %v", causes, plain)
+	}
+	for i := range plain {
+		if causes[i] != plain[i] {
+			t.Fatalf("cause %d differs: %v vs %v", i, causes[i], plain[i])
+		}
+	}
+
+	if ev == nil || len(ev.Nodes) == 0 {
+		t.Fatal("no RCA evidence recorded")
+	}
+	n := ev.Nodes[0]
+	if n.Node != "neutron-node" || n.Stage != "error" {
+		t.Fatalf("first examined node = %+v, want neutron-node at error stage", n)
+	}
+	var cpu *tracestore.RCAMetric
+	for i := range n.Metrics {
+		if n.Metrics[i].Name == "cpu" {
+			cpu = &n.Metrics[i]
+		}
+	}
+	if cpu == nil {
+		t.Fatalf("cpu window not recorded: %+v", n.Metrics)
+	}
+	if cpu.Samples != 60 || cpu.Last != 96 || cpu.Mean != 96 {
+		t.Fatalf("cpu evidence = %+v", *cpu)
+	}
+	if len(n.Findings) == 0 || !strings.Contains(n.Findings[0], "CPU") {
+		t.Fatalf("findings = %v", n.Findings)
+	}
+}
+
+// TestExplainHookRecordsOperationStageWiden verifies the evidence shows
+// the §5.4 widening: nothing anomalous on the error nodes, so the
+// operation nodes are examined — and recorded — too.
+func TestExplainHookRecordsOperationStageWiden(t *testing.T) {
+	h := scenario.New(scenario.Options{Seed: 107, WithRCA: true, PollPeriod: time.Second})
+	for _, n := range h.D.ComputeNodes() {
+		faults.StopDependency(n, "neutron-plugin-linuxbridge-agent")
+	}
+	h.Run(time.Minute)
+	rep := &core.Report{
+		Kind:       core.Operational,
+		Fault:      trace.Event{SrcNode: "nova-node", DstNode: "horizon-node", Time: h.D.Sim.Now()},
+		Errors:     []trace.Event{{SrcNode: "nova-node", DstNode: "horizon-node"}},
+		Candidates: []string{"vm-create"},
+	}
+	causes, ev := h.Engine.ExplainHook()(rep)
+	found := false
+	for _, c := range causes {
+		if c.Kind == "software" && strings.Contains(c.Detail, "linuxbridge") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stopped agent not found: %v", causes)
+	}
+	stages := map[string]int{}
+	for _, n := range ev.Nodes {
+		stages[n.Stage]++
+	}
+	if stages["error"] == 0 || stages["operation"] == 0 {
+		t.Fatalf("evidence should show both stages examined, got %v", stages)
+	}
+	// Error-stage nodes come first in the recorded walk.
+	if ev.Nodes[0].Stage != "error" {
+		t.Fatalf("first node stage = %s", ev.Nodes[0].Stage)
+	}
+	h.Finish()
 }

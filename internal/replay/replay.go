@@ -184,6 +184,19 @@ type Result struct {
 	// analyzer when driving from a live transport (DriveTransport):
 	// gap/down health records, and the total frames they reported lost.
 	Gaps, Missed uint64
+	// TracesStored and TracesEvicted report the evidence-trace store's
+	// counters after the run — total traces recorded and how many the
+	// size cap pushed out. Zero unless the analyzer ran in explain mode.
+	TracesStored, TracesEvicted uint64
+}
+
+// explainCounters copies the evidence-trace store's counters into the
+// result when the analyzer ran in explain mode.
+func (r *Result) explainCounters(a *core.Analyzer) {
+	if s := a.ExplainStore(); s != nil {
+		r.TracesStored = s.Stored()
+		r.TracesEvicted = s.Evicted()
+	}
 }
 
 // Drive pushes the stream through a GRETEL analyzer at full speed. If
@@ -219,6 +232,7 @@ func Drive(a *core.Analyzer, events []trace.Event) Result {
 			res.MaxReportDelay = rep.ReportDelay
 		}
 	}
+	res.explainCounters(a)
 	return res
 }
 
@@ -291,6 +305,7 @@ func DriveTransport(a *core.Analyzer, recv *agent.Receiver, onState func(agent.S
 			res.MaxReportDelay = rep.ReportDelay
 		}
 	}
+	res.explainCounters(a)
 	return res
 }
 

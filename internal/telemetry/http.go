@@ -69,11 +69,20 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// Mount attaches an extra handler to the introspection mux — how
+// subsystems with their own live views (e.g. the evidence-trace store's
+// /traces endpoints) join the telemetry surface without this package
+// importing them.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewMux builds the introspection mux: /metrics (the registry),
-// /debug/vars (expvar), and /debug/pprof/ (profiles). The explicit
-// pprof registrations mirror what net/http/pprof does on
-// http.DefaultServeMux, which we deliberately avoid mutating.
-func NewMux(r *Registry) *http.ServeMux {
+// /debug/vars (expvar), /debug/pprof/ (profiles), plus any extra
+// mounts. The explicit pprof registrations mirror what net/http/pprof
+// does on http.DefaultServeMux, which we deliberately avoid mutating.
+func NewMux(r *Registry, mounts ...Mount) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -82,6 +91,9 @@ func NewMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	return mux
 }
 
@@ -106,11 +118,12 @@ func publishExpvar(r *Registry) {
 }
 
 // Serve starts the introspection endpoint on addr (e.g. ":6167"; ":0"
-// picks a free port) for the given registry (nil means the default).
-// It registers process.uptime_seconds and process.goroutines, publishes
-// the registry through expvar, and serves until the process exits or the
-// returned shutdown function is called. Returns the bound address.
-func Serve(addr string, r *Registry) (string, func() error, error) {
+// picks a free port) for the given registry (nil means the default),
+// with any extra mounts attached to the mux. It registers
+// process.uptime_seconds and process.goroutines, publishes the registry
+// through expvar, and serves until the process exits or the returned
+// shutdown function is called. Returns the bound address.
+func Serve(addr string, r *Registry, mounts ...Mount) (string, func() error, error) {
 	if r == nil {
 		r = std
 	}
@@ -127,7 +140,7 @@ func Serve(addr string, r *Registry) (string, func() error, error) {
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(r)}
+	srv := &http.Server{Handler: NewMux(r, mounts...)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -47,6 +47,37 @@ func TestHandlerText(t *testing.T) {
 	}
 }
 
+// TestHandlerTextContentType is the regression test for the /metrics
+// text view's Content-Type: browsers and curl pipelines must see
+// text/plain with an explicit charset, never Go's sniffed default.
+func TestHandlerTextContentType(t *testing.T) {
+	r := newPopulatedRegistry()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("text /metrics Content-Type = %q, want %q", ct, "text/plain; charset=utf-8")
+	}
+}
+
+// TestMuxMounts verifies extra handlers (the /traces endpoints in
+// production) attach to the introspection mux without disturbing the
+// built-in routes.
+func TestMuxMounts(t *testing.T) {
+	r := newPopulatedRegistry()
+	mux := NewMux(r, Mount{Pattern: "/extra", Handler: http.HandlerFunc(
+		func(w http.ResponseWriter, req *http.Request) { io.WriteString(w, "mounted") })})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/extra", nil))
+	if rec.Code != 200 || rec.Body.String() != "mounted" {
+		t.Fatalf("/extra: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "core.events_ingested 42") {
+		t.Fatalf("/metrics after mounting: code=%d", rec.Code)
+	}
+}
+
 func TestHandlerJSON(t *testing.T) {
 	r := newPopulatedRegistry()
 	rec := httptest.NewRecorder()

@@ -45,7 +45,7 @@ const shardCount = 16
 func shard() uint64 {
 	var x byte
 	p := uintptr(unsafe.Pointer(&x))
-	return uint64((p >> 9) ^ (p >> 17)) & (shardCount - 1)
+	return uint64((p>>9)^(p>>17)) & (shardCount - 1)
 }
 
 // counterCell pads one shard to a cache line so adjacent shards never

@@ -1,0 +1,73 @@
+// /traces endpoints: live browsing of the evidence-trace store over the
+// telemetry mux. /traces lists the resident traces (one line each);
+// /traces/<id> serves one trace's full evidence. Both honor ?format=:
+// "json" (indented JSON), "ndjson" (one object per line), "chrome"
+// (Chrome trace-event JSON — save and load in Perfetto or
+// chrome://tracing). The default is human-readable text.
+package tracestore
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the /traces index and /traces/<id> detail views. Mount
+// it at both "/traces" and "/traces/" on the telemetry mux.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/traces")
+		rest = strings.Trim(rest, "/")
+		format := r.URL.Query().Get("format")
+
+		if rest == "" {
+			s.serveIndex(w, format)
+			return
+		}
+		id, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id: "+rest, http.StatusBadRequest)
+			return
+		}
+		t := s.Get(id)
+		if t == nil {
+			http.Error(w, "no such trace (evicted or never stored)", http.StatusNotFound)
+			return
+		}
+		s.serveTrace(w, t, format)
+	})
+}
+
+func (s *Store) serveIndex(w http.ResponseWriter, format string) {
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, s.All())
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteNDJSON(w, s.All())
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, s.All())
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteIndex(w, s)
+	}
+}
+
+func (s *Store) serveTrace(w http.ResponseWriter, t *Trace, format string) {
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, []*Trace{t})
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteNDJSON(w, []*Trace{t})
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, []*Trace{t})
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteText(w, t)
+	}
+}

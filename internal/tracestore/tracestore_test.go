@@ -1,0 +1,216 @@
+package tracestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkTrace(id uint64) *Trace {
+	at := time.Date(2016, 12, 12, 10, 0, 0, int(id)*1e6, time.UTC)
+	return &Trace{
+		ID: id, Kind: "operational", OffendingAPI: "POST /v2.1/servers",
+		FaultSeq: 100 + id, FaultTime: at, DetectedAt: at.Add(50 * time.Millisecond),
+		Window: Window{Alpha: 768, Events: 768, FaultIndex: 384, FirstSeq: 1, LastSeq: 768},
+		Growth: []GrowthStep{{Beta: 76, Lo: 346, Hi: 423, Pattern: 40, Matched: []string{"op-a"}}},
+		Candidates: []Candidate{
+			{Name: "op-a", FPLen: 7, Truncated: true, Matched: true, Score: 1, MandatoryHit: 7, MandatoryTotal: 7},
+			{Name: "op-b", FPLen: 5, Truncated: true, Matched: false, Score: 0.4, MandatoryHit: 2,
+				MandatoryTotal: 5, Reason: "offending symbol POST /v2.1/servers absent from the context buffer"},
+		},
+		Spans: []Span{
+			{ID: 0, Parent: -1, API: "POST /v2.1/servers", Kind: "REST", Node: "ctl-1",
+				StartSeq: 99, EndSeq: 100 + id, Start: at.Add(-12 * time.Millisecond),
+				Duration: 12 * time.Millisecond, Status: 500, Fault: true},
+			{ID: 1, Parent: 0, API: "compute.run_instance", Kind: "RPC", Node: "cmp-1",
+				StartSeq: 99, EndSeq: 100, Start: at.Add(-10 * time.Millisecond),
+				Duration: 5 * time.Millisecond},
+		},
+		Matched: []string{"op-a"}, Beta: 76, Precision: 0.99,
+	}
+}
+
+func TestStorePutGetEvict(t *testing.T) {
+	s := New(32) // 2 per shard
+	if s.Cap() != 32 {
+		t.Fatalf("Cap() = %d, want 32", s.Cap())
+	}
+	// Fill one shard (ids congruent mod 16) past its per-shard cap.
+	for _, id := range []uint64{16, 32, 48} {
+		s.Put(mkTrace(id))
+	}
+	if s.Get(16) != nil {
+		t.Error("oldest trace in the full shard should have been evicted")
+	}
+	if s.Get(32) == nil || s.Get(48) == nil {
+		t.Error("newer traces must survive eviction")
+	}
+	if s.Evicted() != 1 {
+		t.Errorf("Evicted() = %d, want 1 (eviction must be counted, never silent)", s.Evicted())
+	}
+	if s.Stored() != 3 {
+		t.Errorf("Stored() = %d, want 3", s.Stored())
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", s.Len())
+	}
+}
+
+func TestStoreIDsSorted(t *testing.T) {
+	s := New(0)
+	for _, id := range []uint64{7, 3, 21, 1, 14} {
+		s.Put(mkTrace(id))
+	}
+	ids := s.IDs()
+	want := []uint64{1, 3, 7, 14, 21}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+	all := s.All()
+	for i, tr := range all {
+		if tr.ID != want[i] {
+			t.Fatalf("All()[%d].ID = %d, want %d", i, tr.ID, want[i])
+		}
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := uint64(g*100 + i)
+				s.Put(mkTrace(id))
+				s.Get(id)
+				if i%10 == 0 {
+					s.IDs()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Stored() != 800 {
+		t.Errorf("Stored() = %d, want 800", s.Stored())
+	}
+	if got := uint64(s.Len()) + s.Evicted(); got != 800 {
+		t.Errorf("Len()+Evicted() = %d, want 800", got)
+	}
+}
+
+func TestWriteNDJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, []*Trace{mkTrace(1), mkTrace(2)}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON lines = %d, want 2", len(lines))
+	}
+	var rt Trace
+	if err := json.Unmarshal([]byte(lines[0]), &rt); err != nil {
+		t.Fatalf("NDJSON line does not round-trip: %v", err)
+	}
+	if rt.ID != 1 || len(rt.Candidates) != 2 || rt.Candidates[1].Reason == "" {
+		t.Errorf("round-tripped trace lost fields: %+v", rt)
+	}
+}
+
+func TestWriteChromeTraceLoads(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*Trace{mkTrace(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	var haveComplete, haveMeta, haveInstant bool
+	for _, ev := range out.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("trace event missing required key %q: %v", k, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			haveComplete = true
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		case "M":
+			haveMeta = true
+		case "i":
+			haveInstant = true
+		}
+	}
+	if !haveComplete || !haveMeta || !haveInstant {
+		t.Errorf("export should contain complete, metadata, and instant events (got X=%v M=%v i=%v)",
+			haveComplete, haveMeta, haveInstant)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	s := New(0)
+	s.Put(mkTrace(3))
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/traces")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "trace 3") {
+		t.Errorf("/traces index: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("/traces Content-Type = %q", ct)
+	}
+
+	rec = get("/traces/3")
+	body := rec.Body.String()
+	if rec.Code != 200 {
+		t.Fatalf("/traces/3: code=%d", rec.Code)
+	}
+	for _, want := range []string{"operational fault", "context-buffer growth", "candidates",
+		"span tree", "absent from the context buffer", "FAULT"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/traces/3 text missing %q in:\n%s", want, body)
+		}
+	}
+
+	rec = get("/traces/3?format=json")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var arr []Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &arr); err != nil || len(arr) != 1 {
+		t.Errorf("json detail: err=%v n=%d", err, len(arr))
+	}
+
+	rec = get("/traces/3?format=chrome")
+	if !strings.Contains(rec.Body.String(), "traceEvents") {
+		t.Error("chrome detail missing traceEvents")
+	}
+
+	if rec = get("/traces/99"); rec.Code != 404 {
+		t.Errorf("missing trace: code=%d, want 404", rec.Code)
+	}
+	if rec = get("/traces/bogus"); rec.Code != 400 {
+		t.Errorf("bad id: code=%d, want 400", rec.Code)
+	}
+}
