@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Shard-ablation smoke: the sharded ingest front-end must be invisible
+# in the output. Run the same faulty replay with -ingest-shards 0
+# (classic inline ingest), 1, and 4, and require the JSON report
+# streams to match byte-for-byte. Wall-clock summary lines vary run to
+# run, so only the report lines (the JSON objects on stdout) count.
+set -euo pipefail
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+go build -o "$out/gretel" ./cmd/gretel
+
+for shards in 0 1 4; do
+  "$out/gretel" -replay 40000 -fault-every 500 -json \
+    -ingest-shards "$shards" 2>"$out/log.$shards" |
+    grep '^{' >"$out/reports.$shards" || true
+  n=$(wc -l <"$out/reports.$shards")
+  echo "ingest-shards=$shards: $n reports"
+  if [ "$n" -eq 0 ]; then
+    echo "FAIL: no reports with -ingest-shards $shards" >&2
+    cat "$out/log.$shards" >&2
+    exit 1
+  fi
+done
+
+for shards in 1 4; do
+  if ! diff -u "$out/reports.0" "$out/reports.$shards" >"$out/diff.$shards"; then
+    echo "FAIL: reports differ between -ingest-shards 0 and $shards" >&2
+    head -40 "$out/diff.$shards" >&2
+    exit 1
+  fi
+done
+
+echo "shard smoke OK: reports byte-identical across ingest-shards {0,1,4}"

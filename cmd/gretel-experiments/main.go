@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"time"
 
+	"gretel/internal/core"
 	"gretel/internal/experiments"
 	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
@@ -36,11 +37,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		fast    = flag.Bool("fast", false, "reduced scales for a quick pass")
-		outDir  = flag.String("out", "", "also write each figure's raw data as CSV into this directory")
-		workers = flag.Int("detect-workers", 0, "fig8c detection worker pool size (0 = inline detection)")
+		exp      = flag.String("exp", "all", "experiment to run")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		fast     = flag.Bool("fast", false, "reduced scales for a quick pass")
+		outDir   = flag.String("out", "", "also write each figure's raw data as CSV into this directory")
+		workers  = flag.Int("detect-workers", 0, "fig8c detection worker pool size (0 = inline detection)")
+		shards   = flag.Int("ingest-shards", 0, "fig8c sharded ingest front-end size (0 = inline ingest)")
+		ingBatch = flag.Int("ingest-batch", 0, "fig8c ingest batch size (0 = default 256 with shards)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -146,7 +149,9 @@ func main() {
 	})
 
 	run("fig8c", func() {
-		points := experiments.Fig8c(*seed, events, nil, *workers)
+		points := experiments.Fig8c(*seed, events, nil, core.Config{
+			DetectWorkers: *workers, IngestShards: *shards, IngestBatch: *ingBatch,
+		})
 		fmt.Print(experiments.FormatFig8c(points))
 		rows := [][]string{{"fault_every", "events_per_sec", "mbps", "reports"}}
 		for _, p := range points {

@@ -74,6 +74,8 @@ func main() {
 		workers    = flag.Int("detect-workers", runtime.GOMAXPROCS(0), "detection worker pool size (0 = detect inline on the receive path)")
 		backlog    = flag.Int("detect-backlog", 0, "bounded detect queue capacity (0 = 4x workers)")
 		shed       = flag.Bool("detect-shed", false, "shed snapshots when the detect queue is full instead of applying backpressure")
+		shards     = flag.Int("ingest-shards", 0, "sharded ingest front-end: partition pairing/latency state across this many shards (0 = classic inline ingest)")
+		ingBatch   = flag.Int("ingest-batch", 0, "batch size for sharded ingest (0 = default 256; only used with -ingest-shards > 0)")
 		downAfter  = flag.Duration("down-after", 5*time.Second, "declare an agent down after this long without frames or heartbeats (0 disables liveness tracking)")
 		explain    = flag.Bool("explain", false, "record a full evidence trace per report, browsable at /traces on the telemetry address")
 		traceCap   = flag.Int("trace-store-cap", tracestore.DefaultCap, "max evidence traces held in memory (oldest evicted first, evictions counted)")
@@ -82,6 +84,10 @@ func main() {
 		linger     = flag.Duration("linger", 0, "with -replay, keep telemetry endpoints serving this long after the run")
 	)
 	flag.Parse()
+	if err := validateFlags(*backlog, *traceCap, *shards, *ingBatch); err != nil {
+		fmt.Fprintf(os.Stderr, "gretel: %v\n", err)
+		os.Exit(2)
+	}
 
 	var traces *tracestore.Store
 	if *explain {
@@ -127,6 +133,7 @@ func main() {
 	analyzer := core.New(lib, core.Config{
 		Alpha: *alpha, Prate: *prate, T: *horizonT, PerfDetection: *perf,
 		DetectWorkers: *workers, DetectBacklog: *backlog, DetectShed: *shed,
+		IngestShards: *shards, IngestBatch: *ingBatch,
 	})
 	// Root-cause analysis over the distributed state the agents stream in.
 	store := rca.NewStore()
@@ -241,6 +248,24 @@ func main() {
 		log.Printf("lingering %v for trace/metric queries", *linger)
 		time.Sleep(*linger)
 	}
+}
+
+// validateFlags rejects size flags that parse but cannot be meant.
+// Negative values would silently flip internal sentinels (GOMAXPROCS
+// sizing, "cap disabled") a CLI user has no reason to request — fail
+// loudly with exit 2 instead.
+func validateFlags(detectBacklog, traceStoreCap, ingestShards, ingestBatch int) error {
+	switch {
+	case detectBacklog < 0:
+		return fmt.Errorf("-detect-backlog must be >= 0, got %d (0 means 4x workers)", detectBacklog)
+	case traceStoreCap < 0:
+		return fmt.Errorf("-trace-store-cap must be >= 0, got %d (0 means the default cap)", traceStoreCap)
+	case ingestShards < 0:
+		return fmt.Errorf("-ingest-shards must be >= 0, got %d (0 means classic inline ingest)", ingestShards)
+	case ingestBatch < 0:
+		return fmt.Errorf("-ingest-batch must be >= 0, got %d (0 means the default batch size)", ingestBatch)
+	}
+	return nil
 }
 
 func printReport(rep *core.Report) {

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                                string
+		backlog, traceCap, shards, ingBatch int
+		wantErr                             string // substring; empty = valid
+	}{
+		{"all-zero-defaults", 0, 0, 0, 0, ""},
+		{"all-positive", 8, 1024, 4, 256, ""},
+		{"negative-backlog", -1, 0, 0, 0, "-detect-backlog"},
+		{"negative-trace-cap", 0, -5, 0, 0, "-trace-store-cap"},
+		{"negative-shards", 0, 0, -2, 0, "-ingest-shards"},
+		{"negative-batch", 0, 0, 4, -1, "-ingest-batch"},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.backlog, c.traceCap, c.shards, c.ingBatch)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error naming %s, got nil", c.name, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not name the offending flag %s", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -210,8 +210,22 @@ type Config struct {
 	// in event time (default 10m; negative disables age eviction).
 	PairTTL time.Duration
 	// MaxPairs caps each pairing map; when full, the oldest quarter is
-	// evicted (default 65536; negative disables the cap).
+	// evicted (default 65536; negative disables the cap). With ingest
+	// shards the cap is split evenly across shards (ceil(MaxPairs/N) per
+	// shard), preserving the global bound.
 	MaxPairs int
+	// IngestShards partitions the keyed ingest state — pairing maps,
+	// per-API latency summaries and level-shift detectors, TTL/cap
+	// eviction — across this many shards fed by IngestBatch. 0 (the
+	// default) keeps the classic inline path, kept for ablation; negative
+	// uses GOMAXPROCS. Shard outcomes are re-sequenced by event order
+	// before the global window and detection, so reports and evidence
+	// traces are byte-identical across shard counts (shard.go).
+	IngestShards int
+	// IngestBatch is the batch size drivers should feed IngestBatch with
+	// when IngestShards > 0 (default 256). Batching amortizes per-event
+	// dispatch across the shard barrier.
+	IngestBatch int
 }
 
 func (c *Config) defaults(lib *fingerprint.Library) {
@@ -260,6 +274,12 @@ func (c *Config) defaults(lib *fingerprint.Library) {
 	if c.MaxPairs == 0 {
 		c.MaxPairs = 1 << 16
 	}
+	if c.IngestShards < 0 {
+		c.IngestShards = runtime.GOMAXPROCS(0)
+	}
+	if c.IngestShards > 0 && c.IngestBatch <= 0 {
+		c.IngestBatch = 256
+	}
 }
 
 // Stats counts analyzer work for the throughput experiments. Receiver
@@ -296,12 +316,10 @@ type Analyzer struct {
 	cfg Config
 	lib *fingerprint.Library
 
-	win          *window.Dual
-	pending      map[uint64]pendingReq // REST pairing by connection
-	calls        map[string]pendingReq // RPC pairing by message id
-	latBank      *tsoutliers.Bank
-	latStats     map[trace.API]*stats.Summary
-	lastPerfSnap map[trace.API]time.Time
+	win     *window.Dual
+	pending map[uint64]pendingReq // REST pairing by connection
+	calls   map[string]pendingReq // RPC pairing by message id
+	lat     latTrack              // per-API latency summaries + level-shift detectors
 	// degraded marks nodes with unhealed monitoring-feed loss (NodeGap)
 	// until the agent provably returns (NodeRecovered); value is the time
 	// of the last recorded loss.
@@ -331,26 +349,41 @@ type Analyzer struct {
 	inFlight      sync.WaitGroup
 	workersWG     sync.WaitGroup
 	collectorDone chan struct{}
+
+	// Sharded ingest front-end state (shard.go); shards is nil in inline
+	// mode, shardsOff flips after Close stops the workers.
+	shards    []*ingestShard
+	shardsWG  sync.WaitGroup
+	shardsOff bool
+	batchWG   sync.WaitGroup
+	batchBuf  []trace.Event
+	outcomes  []ingestOutcome
+	pairIdx   [][]int32
+	latIdx    [][]int32
+	one       [1]trace.Event
 }
 
 // New builds an analyzer over a learned fingerprint library. When
 // cfg.DetectWorkers is non-zero the detection worker pool starts
-// immediately; call Close to stop it (Flush alone drains it).
+// immediately, and when cfg.IngestShards is non-zero so does the
+// sharded ingest front-end; call Close to stop them (Flush alone drains
+// the detection pipeline).
 func New(lib *fingerprint.Library, cfg Config) *Analyzer {
 	cfg.defaults(lib)
 	a := &Analyzer{
-		cfg:          cfg,
-		lib:          lib,
-		win:          window.New(cfg.Alpha),
-		pending:      make(map[uint64]pendingReq),
-		calls:        make(map[string]pendingReq),
-		latBank:      tsoutliers.NewBank(cfg.Latency),
-		latStats:     make(map[trace.API]*stats.Summary),
-		lastPerfSnap: make(map[trace.API]time.Time),
-		degraded:     make(map[string]time.Time),
+		cfg:      cfg,
+		lib:      lib,
+		win:      window.New(cfg.Alpha),
+		pending:  make(map[uint64]pendingReq),
+		calls:    make(map[string]pendingReq),
+		lat:      newLatTrack(cfg.Latency),
+		degraded: make(map[string]time.Time),
 	}
 	if cfg.DetectWorkers > 0 {
 		a.startPipeline(cfg.DetectWorkers)
+	}
+	if cfg.IngestShards > 0 {
+		a.startShards(cfg.IngestShards)
 	}
 	return a
 }
@@ -372,8 +405,16 @@ func (a *Analyzer) SetRCA(fn func(*Report) []RootCause) { a.rca = fn }
 func (a *Analyzer) Reports() []*Report { return a.reports }
 
 // Ingest processes one event from the monitoring agents. It must be
-// called from a single goroutine (the event receiver).
+// called from a single goroutine (the event receiver). With the sharded
+// front-end running (Config.IngestShards > 0) the event is routed
+// through a single-event batch so pairing state stays coherent with
+// batched callers; high-rate drivers should call IngestBatch instead.
 func (a *Analyzer) Ingest(ev trace.Event) {
+	if a.shards != nil && !a.shardsOff {
+		a.one[0] = ev
+		a.IngestBatch(a.one[:])
+		return
+	}
 	a.Stats.Events++
 	mEventsIngested.Inc()
 	a.Stats.Bytes += uint64(ev.WireBytes)
@@ -433,17 +474,11 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 	// Performance fault detection: feed the paired latency to the per-API
 	// level-shift detector and the operator-facing summary.
 	if havePair && !ev.Faulty() {
-		sum := a.latStats[ev.API]
-		if sum == nil {
-			sum = stats.NewSummary()
-			a.latStats[ev.API] = sum
-		}
-		sum.Observe(latency.Seconds())
-		alarms := a.latBank.Observe(ev.API.String(), ev.Time, latency.Seconds())
-		if len(alarms) > 0 {
-			a.Stats.PerfAlarms += uint64(len(alarms))
-			mFaultsPerf.Add(uint64(len(alarms)))
-			if a.cfg.PerfDetection && a.perfSnapshotDue(ev.API, ev.Time) {
+		alarms, armPerf := a.lat.observe(ev.API, ev.Time, latency, &a.cfg)
+		if alarms > 0 {
+			a.Stats.PerfAlarms += uint64(alarms)
+			mFaultsPerf.Add(uint64(alarms))
+			if armPerf {
 				a.armSnapshot(ev, Performance, latency)
 			}
 		}
@@ -451,9 +486,15 @@ func (a *Analyzer) Ingest(ev trace.Event) {
 }
 
 // LatencyDetector exposes the per-API latency detector (for experiment
-// plots of the adjusted series and level shifts).
+// plots of the adjusted series and level shifts). With the sharded
+// front-end, the detector lives on the shard that owns the API.
 func (a *Analyzer) LatencyDetector(api trace.API) *tsoutliers.Detector {
-	return a.latBank.Detector(api.String())
+	if s := a.latShard(api); s != nil {
+		if d := s.lat.bank.Detector(api.String()); d != nil {
+			return d
+		}
+	}
+	return a.lat.bank.Detector(api.String())
 }
 
 // APILatency pairs an API with its latency summary.
@@ -464,9 +505,24 @@ type APILatency struct {
 
 // LatencySummaries returns per-API latency summaries sorted by p95
 // descending — the operator's view of the deployment's slowest APIs.
+// With the sharded front-end the shards' summaries are merged in; each
+// API lives on exactly one shard, but an inline summary for the same
+// API can exist if events were ingested after Close stopped the shards
+// (the larger count wins).
 func (a *Analyzer) LatencySummaries() []APILatency {
-	out := make([]APILatency, 0, len(a.latStats))
-	for api, sum := range a.latStats {
+	merged := make(map[trace.API]*stats.Summary, len(a.lat.stats))
+	for api, sum := range a.lat.stats {
+		merged[api] = sum
+	}
+	for _, s := range a.shards {
+		for api, sum := range s.lat.stats {
+			if prev, ok := merged[api]; !ok || sum.Count() > prev.Count() {
+				merged[api] = sum
+			}
+		}
+	}
+	out := make([]APILatency, 0, len(merged))
+	for api, sum := range merged {
 		out = append(out, APILatency{api, sum})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -477,18 +533,6 @@ func (a *Analyzer) LatencySummaries() []APILatency {
 		return out[i].API.String() < out[j].API.String()
 	})
 	return out
-}
-
-// perfSnapshotDue applies the per-API performance-snapshot cooldown.
-func (a *Analyzer) perfSnapshotDue(api trace.API, at time.Time) bool {
-	if a.cfg.PerfCooldown < 0 {
-		return true
-	}
-	if last, ok := a.lastPerfSnap[api]; ok && at.Sub(last) < a.cfg.PerfCooldown {
-		return false
-	}
-	a.lastPerfSnap[api] = at
-	return true
 }
 
 // Flush forces any armed snapshots to fire with the data already in the
@@ -525,6 +569,23 @@ func (a *Analyzer) NodeGap(node string, missing uint64, at time.Time) {
 		if p.node == node {
 			delete(a.calls, k)
 			flushed++
+		}
+	}
+	// Shard pairing maps are safe to touch here: IngestBatch is
+	// synchronous, so no shard worker is running between calls, and the
+	// next batch's channel send orders these writes before its reads.
+	for _, s := range a.shards {
+		for k, p := range s.pending {
+			if p.node == node {
+				delete(s.pending, k)
+				flushed++
+			}
+		}
+		for k, p := range s.calls {
+			if p.node == node {
+				delete(s.calls, k)
+				flushed++
+			}
 		}
 	}
 	if flushed > 0 {

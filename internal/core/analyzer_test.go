@@ -26,23 +26,34 @@ func testLib() *fingerprint.Library {
 	return lib
 }
 
-// stream is a helper that emits a REST exchange for an API.
+// stream is a helper that emits a REST exchange for an API. Events go
+// to the analyzer, or to emit when set (shard tests record the stream
+// once and replay it through IngestBatch).
 type stream struct {
 	a    *Analyzer
+	emit func(trace.Event)
 	conn uint64
 	msg  int
 	ms   int
 }
 
+func (s *stream) push(ev trace.Event) {
+	if s.emit != nil {
+		s.emit(ev)
+		return
+	}
+	s.a.Ingest(ev)
+}
+
 func (s *stream) rest(api trace.API, status int, opID uint64, opName string) {
 	s.conn++
 	s.ms += 10
-	s.a.Ingest(trace.Event{
+	s.push(trace.Event{
 		Time: at(s.ms), Type: trace.RESTRequest, API: api,
 		ConnID: s.conn, OpID: opID, OpName: opName, WireBytes: 150,
 	})
 	s.ms += 10
-	s.a.Ingest(trace.Event{
+	s.push(trace.Event{
 		Time: at(s.ms), Type: trace.RESTResponse, API: api, Status: status,
 		ConnID: s.conn, OpID: opID, OpName: opName, WireBytes: 180,
 	})
@@ -52,7 +63,7 @@ func (s *stream) rpcCall(api trace.API, fail bool, opID uint64, opName string) {
 	s.msg++
 	id := "m" + itoa(s.msg)
 	s.ms += 10
-	s.a.Ingest(trace.Event{
+	s.push(trace.Event{
 		Time: at(s.ms), Type: trace.RPCCall, API: api,
 		MsgID: id, OpID: opID, OpName: opName, WireBytes: 200,
 	})
@@ -61,7 +72,7 @@ func (s *stream) rpcCall(api trace.API, fail bool, opID uint64, opName string) {
 	if fail {
 		status = 1
 	}
-	s.a.Ingest(trace.Event{
+	s.push(trace.Event{
 		Time: at(s.ms), Type: trace.RPCReply, API: api, Status: status,
 		MsgID: id, OpID: opID, OpName: opName, WireBytes: 120,
 	})

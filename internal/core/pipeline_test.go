@@ -22,7 +22,14 @@ func driveFaulty(cfg Config) *Analyzer {
 func driveFaultyExplain(cfg Config, store *tracestore.Store) *Analyzer {
 	a := newAnalyzer(cfg)
 	a.SetExplain(store)
-	s := &stream{a: a}
+	faultyScript(&stream{a: a})
+	a.Close()
+	return a
+}
+
+// faultyScript plays the shared multi-fault stream into a stream
+// helper — also recorded as a plain event slice by the shard tests.
+func faultyScript(s *stream) {
 	for i := 0; i < 30; i++ {
 		id := uint64(i * 10)
 		s.rest(get("/list"), 200, id+1, "op-a")
@@ -34,8 +41,6 @@ func driveFaultyExplain(cfg Config, store *tracestore.Store) *Analyzer {
 		s.filler(10)
 	}
 	s.filler(40)
-	a.Close()
-	return a
 }
 
 // TestParallelMatchesInlineReports is the determinism contract of the

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"gretel/internal/trace"
+	"gretel/internal/tracestore"
+)
+
+// faultyEvents records the shared multi-fault script as a plain event
+// slice, so the same stream can be replayed through Ingest and
+// IngestBatch at any shard count.
+func faultyEvents() []trace.Event {
+	var evs []trace.Event
+	faultyScript(&stream{emit: func(ev trace.Event) { evs = append(evs, ev) }})
+	return evs
+}
+
+// driveBatched replays events through IngestBatch in cfg.IngestBatch
+// chunks (an odd fallback size when unset, so batch boundaries land
+// mid-exchange) and closes the analyzer.
+func driveBatched(evs []trace.Event, cfg Config, store *tracestore.Store) *Analyzer {
+	a := newAnalyzer(cfg)
+	a.SetExplain(store)
+	chunk := cfg.IngestBatch
+	if chunk <= 0 {
+		chunk = 7
+	}
+	for lo := 0; lo < len(evs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		a.IngestBatch(evs[lo:hi])
+	}
+	a.Close()
+	return a
+}
+
+// serializeReports renders reports to JSON — the byte-identical
+// contract covers the serialized form, not just DeepEqual.
+func serializeReports(t *testing.T, reps []*Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range reps {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestShardedMatchesInlineReports is the determinism contract of the
+// sharded ingest front-end: the same faulty stream through the classic
+// inline path (IngestShards: 0) and through batched sharded ingest at
+// 1 and 4 shards — with and without the detect worker pool — must
+// produce byte-identical serialized reports, byte-identical explain
+// traces, and identical Stats. Run under -race this also exercises the
+// spine/shard-worker sharing.
+func TestShardedMatchesInlineReports(t *testing.T) {
+	evs := faultyEvents()
+	baseStore := tracestore.New(0)
+	base := driveBatched(evs, Config{Alpha: 32}, baseStore)
+	if len(base.Reports()) == 0 {
+		t.Fatal("no reports produced")
+	}
+	baseReps := serializeReports(t, base.Reports())
+	var baseTraces bytes.Buffer
+	if err := tracestore.WriteNDJSON(&baseTraces, baseStore.All()); err != nil {
+		t.Fatal(err)
+	}
+	if baseTraces.Len() == 0 {
+		t.Fatal("no traces serialized")
+	}
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"1shard", Config{Alpha: 32, IngestShards: 1}},
+		{"4shards", Config{Alpha: 32, IngestShards: 4}},
+		{"4shards-big-batch", Config{Alpha: 32, IngestShards: 4, IngestBatch: 256}},
+		{"4shards-4workers", Config{Alpha: 32, IngestShards: 4, DetectWorkers: 4, DetectBacklog: 2}},
+	}
+	for _, c := range cases {
+		store := tracestore.New(0)
+		a := driveBatched(evs, c.cfg, store)
+		if got := serializeReports(t, a.Reports()); !bytes.Equal(got, baseReps) {
+			t.Fatalf("%s: serialized reports differ from inline", c.name)
+		}
+		for i, r := range a.Reports() {
+			if !reflect.DeepEqual(*r, *base.Reports()[i]) {
+				t.Fatalf("%s: report %d differs:\ninline:  %+v\nsharded: %+v", c.name, i, *base.Reports()[i], *r)
+			}
+		}
+		var traces bytes.Buffer
+		if err := tracestore.WriteNDJSON(&traces, store.All()); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(traces.Bytes(), baseTraces.Bytes()) {
+			t.Fatalf("%s: explain traces differ from inline", c.name)
+		}
+		if a.Stats != base.Stats {
+			t.Fatalf("%s: stats differ:\ninline:  %+v\nsharded: %+v", c.name, base.Stats, a.Stats)
+		}
+	}
+}
+
+// TestShardedSingleEventIngest pins the Ingest fallback: with shards
+// running, per-event Ingest routes through one-event batches and must
+// still match the inline path exactly.
+func TestShardedSingleEventIngest(t *testing.T) {
+	inline := driveFaulty(Config{Alpha: 32})
+	sharded := driveFaulty(Config{Alpha: 32, IngestShards: 4})
+	if !bytes.Equal(serializeReports(t, inline.Reports()), serializeReports(t, sharded.Reports())) {
+		t.Fatal("per-event sharded ingest diverges from inline")
+	}
+	if inline.Stats != sharded.Stats {
+		t.Fatalf("stats differ:\ninline:  %+v\nsharded: %+v", inline.Stats, sharded.Stats)
+	}
+}
+
+// TestShardedLatencySummariesMatchInline checks phase-B routing keeps
+// each API's summary whole: the merged sharded summaries must render
+// identically to the inline ones (same APIs, same order, same digests).
+func TestShardedLatencySummariesMatchInline(t *testing.T) {
+	evs := faultyEvents()
+	inline := driveBatched(evs, Config{Alpha: 32}, nil)
+	sharded := driveBatched(evs, Config{Alpha: 32, IngestShards: 4}, nil)
+	li, ls := inline.LatencySummaries(), sharded.LatencySummaries()
+	if len(li) == 0 || len(li) != len(ls) {
+		t.Fatalf("summary counts: inline=%d sharded=%d", len(li), len(ls))
+	}
+	for i := range li {
+		if li[i].API != ls[i].API || li[i].Summary.String() != ls[i].Summary.String() {
+			t.Fatalf("summary %d differs: inline %v %s, sharded %v %s",
+				i, li[i].API, li[i].Summary, ls[i].API, ls[i].Summary)
+		}
+	}
+}
+
+// shardPairCount sums pairing-map fill across shards.
+func shardPairCount(a *Analyzer) int {
+	n := len(a.pending) + len(a.calls)
+	for _, s := range a.shards {
+		n += len(s.pending) + len(s.calls)
+	}
+	return n
+}
+
+// TestShardEvictionTTLAndCap drives request floods (responses never
+// arrive) through sharded ingest under combined TTL + cap pressure and
+// checks exact eviction accounting: every inserted entry is either
+// still pending, paired, or counted in Stats.PairsEvicted — and a
+// response for an evicted request must not produce a phantom pair.
+func TestShardEvictionTTLAndCap(t *testing.T) {
+	cfg := Config{Alpha: 16, MaxPairs: 64, PairTTL: time.Second, IngestShards: 4, IngestBatch: 32}
+	a := newAnalyzer(cfg)
+	const n = 5000 // > pairSweepEvery so the amortized TTL sweep fires
+	evs := make([]trace.Event, 0, 2*n)
+	for i := 1; i <= n; i++ {
+		evs = append(evs, trace.Event{Time: at(i * 10), Type: trace.RESTRequest, API: get("/x"), ConnID: uint64(i)})
+		evs = append(evs, trace.Event{Time: at(i * 10), Type: trace.RPCCall, API: rpc("build"), MsgID: "m" + itoa(i)})
+	}
+	for lo := 0; lo < len(evs); lo += cfg.IngestBatch {
+		hi := lo + cfg.IngestBatch
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		a.IngestBatch(evs[lo:hi])
+	}
+
+	if a.Stats.PairsEvicted == 0 {
+		t.Fatal("no evictions under combined TTL+cap pressure")
+	}
+	// Per-shard caps: ceil(64/4) = 16 per map per shard.
+	for i, s := range a.shards {
+		if len(s.pending) > 16 || len(s.calls) > 16 {
+			t.Fatalf("shard %d over cap: pending=%d calls=%d", i, len(s.pending), len(s.calls))
+		}
+	}
+	// Exact accounting: inserted = still pending + paired + evicted.
+	inserted := uint64(2 * n)
+	pending := uint64(shardPairCount(a))
+	paired := a.Stats.RESTPairs + a.Stats.RPCPairs
+	if got := pending + paired + a.Stats.PairsEvicted; got != inserted {
+		t.Fatalf("eviction accounting: pending(%d) + paired(%d) + evicted(%d) = %d, want %d",
+			pending, paired, a.Stats.PairsEvicted, got, inserted)
+	}
+
+	// No phantom pair: ConnID 1 was evicted long ago; its late response
+	// must not pair. A response for a surviving request still must.
+	a.IngestBatch([]trace.Event{{Time: at(n*10 + 5), Type: trace.RESTResponse, API: get("/x"), Status: 200, ConnID: 1}})
+	if a.Stats.RESTPairs != 0 {
+		t.Fatalf("phantom pair for evicted request: RESTPairs=%d", a.Stats.RESTPairs)
+	}
+	var survivor uint64
+	for _, s := range a.shards {
+		for k := range s.pending {
+			if k > survivor {
+				survivor = k
+			}
+		}
+	}
+	if survivor == 0 {
+		t.Fatal("no surviving pending request to pair")
+	}
+	a.IngestBatch([]trace.Event{{Time: at(n*10 + 6), Type: trace.RESTResponse, API: get("/x"), Status: 200, ConnID: survivor}})
+	if a.Stats.RESTPairs != 1 {
+		t.Fatalf("surviving request did not pair: RESTPairs=%d", a.Stats.RESTPairs)
+	}
+	a.Close()
+}
+
+// TestShardEvictionDeterministicAcrossShardCounts pins TTL eviction
+// determinism: dead entries (responses never arrive) age out
+// identically whatever the shard count, so the eviction total and the
+// surviving set match between 1 and 4 shards — and between repeated
+// runs at the same count.
+func TestShardEvictionDeterministicAcrossShardCounts(t *testing.T) {
+	run := func(shards int) *Analyzer {
+		cfg := Config{Alpha: 16, MaxPairs: -1, PairTTL: time.Second, IngestShards: shards, IngestBatch: 64}
+		a := newAnalyzer(cfg)
+		const n = 5000
+		evs := make([]trace.Event, 0, n)
+		for i := 1; i <= n; i++ {
+			evs = append(evs, trace.Event{Time: at(i * 10), Type: trace.RESTRequest, API: get("/x"), ConnID: uint64(i)})
+		}
+		for lo := 0; lo < len(evs); lo += cfg.IngestBatch {
+			hi := lo + cfg.IngestBatch
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			a.IngestBatch(evs[lo:hi])
+		}
+		a.Close()
+		return a
+	}
+	a1, a4, a4b := run(1), run(4), run(4)
+	if a1.Stats.PairsEvicted == 0 {
+		t.Fatal("TTL sweep never evicted")
+	}
+	if a1.Stats != a4.Stats || a4.Stats != a4b.Stats {
+		t.Fatalf("stats differ across shard counts/runs:\n1:  %+v\n4:  %+v\n4b: %+v", a1.Stats, a4.Stats, a4b.Stats)
+	}
+	surviving := func(a *Analyzer) map[uint64]bool {
+		out := map[uint64]bool{}
+		for k := range a.pending {
+			out[k] = true
+		}
+		for _, s := range a.shards {
+			for k := range s.pending {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	if s1, s4 := surviving(a1), surviving(a4); !reflect.DeepEqual(s1, s4) {
+		t.Fatalf("surviving pending sets differ: 1 shard holds %d, 4 shards hold %d", len(s1), len(s4))
+	}
+}
+
+// TestShardedNodeGapFlush checks NodeGap reaches the shard pairing
+// maps: pending pairs waiting on the gapped node are flushed from every
+// shard and cannot pair afterwards.
+func TestShardedNodeGapFlush(t *testing.T) {
+	a := newAnalyzer(Config{Alpha: 16, IngestShards: 4, IngestBatch: 8})
+	evs := make([]trace.Event, 0, 40)
+	for i := 1; i <= 40; i++ {
+		node := "n1"
+		if i%2 == 0 {
+			node = "n2"
+		}
+		evs = append(evs, trace.Event{Time: at(i * 10), Type: trace.RESTRequest, API: get("/x"), ConnID: uint64(i), DstNode: node})
+	}
+	a.IngestBatch(evs)
+	a.NodeGap("n1", 3, at(500))
+	if a.Stats.PairsFlushed != 20 {
+		t.Fatalf("flushed %d pairs, want 20", a.Stats.PairsFlushed)
+	}
+	// A flushed request must not pair; an n2 request still does.
+	a.IngestBatch([]trace.Event{{Time: at(510), Type: trace.RESTResponse, API: get("/x"), Status: 200, ConnID: 1}})
+	if a.Stats.RESTPairs != 0 {
+		t.Fatalf("flushed request paired anyway: RESTPairs=%d", a.Stats.RESTPairs)
+	}
+	a.IngestBatch([]trace.Event{{Time: at(520), Type: trace.RESTResponse, API: get("/x"), Status: 200, ConnID: 2}})
+	if a.Stats.RESTPairs != 1 {
+		t.Fatalf("healthy-node request did not pair: RESTPairs=%d", a.Stats.RESTPairs)
+	}
+	a.Close()
+}
+
+// TestShardedUsableAfterClose: Close stops the shard workers but the
+// analyzer keeps working on the inline path, and LatencySummaries
+// still merges what the shards accumulated.
+func TestShardedUsableAfterClose(t *testing.T) {
+	a := newAnalyzer(Config{Alpha: 16, IngestShards: 2})
+	s := &stream{a: a}
+	s.rest(get("/x"), 200, 1, "op")
+	a.Close()
+	if len(a.LatencySummaries()) != 1 {
+		t.Fatal("shard summaries lost after Close")
+	}
+	// Post-Close ingest falls back to the inline maps.
+	s.rest(get("/y"), 200, 2, "op")
+	a.Flush()
+	if a.Stats.RESTPairs != 2 {
+		t.Fatalf("post-Close ingest broken: RESTPairs=%d", a.Stats.RESTPairs)
+	}
+	// LatencySummaries merges the shard-held /x with the inline /y.
+	if sums := a.LatencySummaries(); len(sums) != 2 {
+		t.Fatalf("merged summaries wrong: %+v", sums)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"gretel/internal/core"
 	"gretel/internal/openstack"
 	"gretel/internal/tempest"
 	"gretel/internal/trace"
@@ -152,7 +153,7 @@ func TestFig8bInjectedLatencyAlarms(t *testing.T) {
 }
 
 func TestFig8cThroughputShape(t *testing.T) {
-	points := Fig8c(7, 40000, []int{100, 2000}, 0)
+	points := Fig8c(7, 40000, []int{100, 2000}, core.Config{})
 	if len(points) != 2 {
 		t.Fatalf("points = %d", len(points))
 	}

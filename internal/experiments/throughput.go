@@ -25,9 +25,10 @@ type ThroughputPoint struct {
 // Fig8c measures the analyzer's sustained throughput for fault
 // frequencies of 1 per {100, 500, 1000, 1500, 2000} messages (the paper's
 // sweep), replaying a synthesized concurrent-operation stream at full
-// speed. workers sets the detection worker pool size (0 = classic
-// inline detection).
-func Fig8c(seed int64, events int, faultFreqs []int, workers int) []ThroughputPoint {
+// speed. cfg configures the analyzer per point (detection worker pool,
+// sharded ingest front-end); the zero Config is the classic inline
+// path.
+func Fig8c(seed int64, events int, faultFreqs []int, cfg core.Config) []ThroughputPoint {
 	if events == 0 {
 		events = 200000
 	}
@@ -49,7 +50,7 @@ func Fig8c(seed int64, events int, faultFreqs []int, workers int) []ThroughputPo
 			Ops: ops, Concurrency: 400, Events: events,
 			FaultEvery: fe, PPS: 50000, Seed: seed ^ int64(fe),
 		})
-		a := core.New(lib, core.Config{DetectWorkers: workers})
+		a := core.New(lib, cfg)
 		out = append(out, ThroughputPoint{FaultEvery: fe, Result: replay.Drive(a, stream)})
 	}
 	return out

@@ -201,13 +201,25 @@ func (r *Result) explainCounters(a *core.Analyzer) {
 
 // Drive pushes the stream through a GRETEL analyzer at full speed. If
 // the analyzer was configured with a detect worker pool
-// (Config.DetectWorkers > 0), detection runs in parallel with ingest;
-// Close drains the pipeline before the wall clock stops, so the
-// measured throughput includes finishing every report.
+// (Config.DetectWorkers > 0), detection runs in parallel with ingest,
+// and with a sharded ingest front-end (Config.IngestShards > 0) events
+// are fed in Config.IngestBatch chunks through IngestBatch; Close
+// drains the pipeline before the wall clock stops, so the measured
+// throughput includes finishing every report.
 func Drive(a *core.Analyzer, events []trace.Event) Result {
 	start := time.Now()
-	for i := range events {
-		a.Ingest(events[i])
+	if batch := a.Config().IngestBatch; a.Config().IngestShards > 0 && batch > 0 {
+		for lo := 0; lo < len(events); lo += batch {
+			hi := lo + batch
+			if hi > len(events) {
+				hi = len(events)
+			}
+			a.IngestBatch(events[lo:hi])
+		}
+	} else {
+		for i := range events {
+			a.Ingest(events[i])
+		}
 	}
 	a.Close()
 	wall := time.Since(start)
@@ -253,11 +265,30 @@ func DriveTransport(a *core.Analyzer, recv *agent.Receiver, onState func(agent.S
 	start := time.Now()
 	var bytes uint64
 	var n int
+	// Batched draining for the sharded front-end: one blocking receive,
+	// then top the batch up with whatever already arrived. Sparse streams
+	// degrade to single-event batches (no added latency).
+	batchMax := 0
+	var batch []trace.Event
+	if cfg := a.Config(); cfg.IngestShards > 0 && cfg.IngestBatch > 1 {
+		batchMax = cfg.IngestBatch
+		batch = make([]trace.Event, 0, batchMax)
+	}
 	for events != nil || states != nil || health != nil {
 		select {
 		case ev, ok := <-events:
 			if !ok {
 				events = nil
+				continue
+			}
+			if batchMax > 0 {
+				batch = append(batch[:0], ev)
+				batch = recv.DrainEvents(batch, batchMax)
+				for i := range batch {
+					bytes += uint64(batch[i].WireBytes)
+				}
+				n += len(batch)
+				a.IngestBatch(batch)
 				continue
 			}
 			n++

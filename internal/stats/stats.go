@@ -6,8 +6,8 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
-	"math"
 	"sort"
 )
 
@@ -30,9 +30,12 @@ type Summary struct {
 	sorted    bool
 }
 
-// NewSummary returns an empty summary.
+// NewSummary returns an empty summary. The struct never holds ±Inf
+// sentinels: min/max are seeded by the first observation, so every
+// accessor — and any serialization of the summary — yields finite
+// values even before the first Observe.
 func NewSummary() *Summary {
-	return &Summary{min: math.Inf(1), max: math.Inf(-1), rngState: 0x9e3779b97f4a7c15}
+	return &Summary{rngState: 0x9e3779b97f4a7c15}
 }
 
 func (s *Summary) rand() uint64 {
@@ -46,11 +49,15 @@ func (s *Summary) rand() uint64 {
 func (s *Summary) Observe(v float64) {
 	s.count++
 	s.sum += v
-	if v < s.min {
-		s.min = v
-	}
-	if v > s.max {
-		s.max = v
+	if s.count == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
 	}
 	s.sorted = false
 	if len(s.reservoir) < reservoirSize {
@@ -119,4 +126,16 @@ func (s *Summary) Quantile(q float64) float64 {
 func (s *Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
 		s.count, s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99), s.Max())
+}
+
+// MarshalJSON emits the operator-facing digest (count, mean, min, max,
+// p50/p95/p99). Every field is finite — an empty summary marshals as
+// all zeros — so structs embedding a Summary (e.g. core.APILatency)
+// are always JSON-encodable.
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Count          uint64
+		Mean, Min, Max float64
+		P50, P95, P99  float64
+	}{s.Count(), s.Mean(), s.Min(), s.Max(), s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)})
 }

@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -11,6 +13,63 @@ func TestEmptySummary(t *testing.T) {
 	s := NewSummary()
 	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
 		t.Fatalf("empty summary not zeroed: %s", s)
+	}
+}
+
+// TestEmptySummaryNoPoisonValues is the regression test for the ±Inf
+// sentinels NewSummary used to seed min/max with: nothing an empty
+// summary exposes — accessors, String, or JSON — may carry an Inf, and
+// the struct itself must not hold one (a marshal of raw state would
+// fail on it).
+func TestEmptySummaryNoPoisonValues(t *testing.T) {
+	s := NewSummary()
+	if math.IsInf(s.min, 0) || math.IsInf(s.max, 0) {
+		t.Fatalf("empty summary holds Inf sentinels: min=%v max=%v", s.min, s.max)
+	}
+	if out := s.String(); strings.Contains(out, "Inf") {
+		t.Fatalf("String leaks Inf: %q", out)
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("empty summary does not marshal: %v", err)
+	}
+	if strings.Contains(string(buf), "Inf") || strings.Contains(string(buf), "null") {
+		t.Fatalf("marshal leaks poison values: %s", buf)
+	}
+}
+
+// TestSummaryMarshalJSON checks the digest a populated summary emits.
+func TestSummaryMarshalJSON(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{-2, 4, 6} {
+		s.Observe(v)
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Count          uint64
+		Mean, Min, Max float64
+	}
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("digest does not round-trip: %v (%s)", err, buf)
+	}
+	if got.Count != 3 || got.Min != -2 || got.Max != 6 || math.Abs(got.Mean-8.0/3) > 1e-12 {
+		t.Fatalf("digest wrong: %+v from %s", got, buf)
+	}
+}
+
+// TestAllNegativeObservations pins min/max seeding from the first
+// value: without Inf sentinels, a series that never crosses zero must
+// still report its true extrema.
+func TestAllNegativeObservations(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{-5, -1, -9} {
+		s.Observe(v)
+	}
+	if s.Min() != -9 || s.Max() != -1 {
+		t.Fatalf("extrema wrong: min=%v max=%v", s.Min(), s.Max())
 	}
 }
 

@@ -11,6 +11,7 @@
 package window
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -19,13 +20,16 @@ import (
 
 // Alpha computes the sliding-window size from FPmax, the incoming message
 // rate (packets/second) and the time horizon t (seconds). The paper's
-// deployment: FPmax=384, Prate≈150, t=1 ⇒ α=768.
+// deployment: FPmax=384, Prate≈150, t=1 ⇒ α=768. Fractional Prate·t is
+// rounded up — the window must hold at least a t-second interval, so
+// truncating (e.g. prate=150.7, t=1 ⇒ α=300 instead of 302) would
+// silently undersize it.
 func Alpha(fpMax int, prate, t float64) int {
 	m := float64(fpMax)
 	if v := prate * t; v > m {
 		m = v
 	}
-	return 2 * int(m)
+	return 2 * int(math.Ceil(m))
 }
 
 // snapBuf is one ring copy shared by every snapshot that fired on the

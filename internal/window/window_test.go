@@ -10,13 +10,32 @@ import (
 func ev(seq uint64) trace.Event { return trace.Event{Seq: seq} }
 
 func TestAlpha(t *testing.T) {
-	// The paper's deployment: FPmax=384, Prate=150, t=1 => alpha=768.
-	if got := Alpha(384, 150, 1); got != 768 {
-		t.Fatalf("Alpha = %d, want 768", got)
+	cases := []struct {
+		name  string
+		fpMax int
+		prate float64
+		t     float64
+		want  int
+	}{
+		// The paper's deployment: FPmax=384, Prate=150, t=1 => alpha=768.
+		{"paper", 384, 150, 1, 768},
+		// High message rate dominates.
+		{"rate-dominates", 100, 500, 2, 2000},
+		// Fractional rate rounds up, never down: 150.7 msgs/s needs 151
+		// slots per half, not 150.
+		{"fractional-rate", 100, 150.7, 1, 302},
+		// Fractional product from a sub-second horizon.
+		{"fractional-horizon", 100, 301, 0.5, 302},
+		// Sub-FPmax rate: the fingerprint bound wins and stays exact.
+		{"sub-fpmax-rate", 384, 150.7, 1, 768},
+		{"sub-fpmax-fractional-tie", 10, 9.4, 1, 20},
+		// Rate a hair over FPmax must still round up past it.
+		{"just-over-fpmax", 10, 10.2, 1, 22},
 	}
-	// High message rate dominates.
-	if got := Alpha(100, 500, 2); got != 2000 {
-		t.Fatalf("Alpha = %d, want 2000", got)
+	for _, c := range cases {
+		if got := Alpha(c.fpMax, c.prate, c.t); got != c.want {
+			t.Errorf("%s: Alpha(%d, %g, %g) = %d, want %d", c.name, c.fpMax, c.prate, c.t, got, c.want)
+		}
 	}
 }
 
