@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fmt vet clean
+.PHONY: all build test race bench bench-go bench-baseline bench-gate experiments examples fmt vet clean
 
 all: build vet test
 
@@ -16,8 +16,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Scenario bench harness (full workloads, pinned iteration count);
+# writes BENCH_<scenario>.json into out/bench plus a table on stderr.
 bench:
+	$(GO) run ./cmd/gretel-bench run -scenario all -iterations 3 -report json -out-dir out/bench
+
+# The classic go-test benchmarks (same workloads via internal/experiments/bench.go).
+bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate the committed short-mode baselines at the repo root.
+bench-baseline:
+	$(GO) run ./cmd/gretel-bench run -scenario all -short -iterations 3 -report json -out-dir .
+
+# The CI regression gate: fresh short-mode run vs committed baselines.
+bench-gate:
+	bash ci/bench_gate.sh
 
 # Regenerate every table and figure (writes CSVs under out/).
 experiments:

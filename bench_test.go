@@ -35,8 +35,7 @@ func BenchmarkTable1_Characterization(b *testing.B) {
 // BenchmarkFig5_OverlapCDF measures the cross-category overlap CDF over
 // the full 1200-fingerprint library.
 func BenchmarkFig5_OverlapCDF(b *testing.B) {
-	cat := tempest.NewCatalog(1)
-	lib := experiments.GroundTruthLibrary(cat)
+	lib := experiments.BenchLibrary()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		points := experiments.Fig5(lib, 70)
@@ -58,19 +57,12 @@ func BenchmarkFig7a_Precision(b *testing.B) {
 }
 
 // BenchmarkFig8c_Throughput measures sustained analyzer throughput at the
-// paper's sweet spot (1 fault per 1000 messages) and reports Mbps.
+// paper's sweet spot (1 fault per 1000 messages) and reports Mbps. The
+// workload is the canonical faulty stream (internal/experiments/bench.go)
+// shared with the gretel-bench fig8c-parallel scenario.
 func BenchmarkFig8c_Throughput(b *testing.B) {
-	cat := tempest.NewCatalog(1)
-	lib := experiments.GroundTruthLibrary(cat)
-	ops := make([]*openstack.Operation, 0, 200)
-	for i, t := range cat.Tests {
-		if i%6 == 0 {
-			ops = append(ops, t.Op)
-		}
-	}
-	stream := replay.Synthesize(replay.StreamConfig{
-		Ops: ops, Concurrency: 400, Events: 100000, FaultEvery: 1000, Seed: 7,
-	})
+	lib := experiments.BenchLibrary()
+	stream := experiments.FaultyBenchStream(100000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	var res replay.Result
@@ -87,17 +79,8 @@ func BenchmarkFig8c_Throughput(b *testing.B) {
 // the inline baseline), so the concurrency speedup lands in BENCH
 // history alongside the Mbps series.
 func BenchmarkFig8c_Parallel(b *testing.B) {
-	cat := tempest.NewCatalog(1)
-	lib := experiments.GroundTruthLibrary(cat)
-	ops := make([]*openstack.Operation, 0, 200)
-	for i, t := range cat.Tests {
-		if i%6 == 0 {
-			ops = append(ops, t.Op)
-		}
-	}
-	stream := replay.Synthesize(replay.StreamConfig{
-		Ops: ops, Concurrency: 400, Events: 100000, FaultEvery: 1000, Seed: 7,
-	})
+	lib := experiments.BenchLibrary()
+	stream := experiments.FaultyBenchStream(100000)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
@@ -307,11 +290,11 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
-// BenchmarkAnalyzerIngest measures the per-event hot path with no faults.
+// BenchmarkAnalyzerIngest measures the per-event hot path with no faults,
+// on the canonical clean stream shared with the ingest scenario.
 func BenchmarkAnalyzerIngest(b *testing.B) {
-	cat := tempest.NewCatalog(1)
-	lib := experiments.GroundTruthLibrary(cat)
-	stream := replay.Synthesize(replay.StreamConfig{Concurrency: 200, Events: 50000, Seed: 5})
+	lib := experiments.BenchLibrary()
+	stream := experiments.CleanBenchStream(50000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -331,9 +314,8 @@ func BenchmarkAnalyzerIngest(b *testing.B) {
 // determinism tests pin that all variants produce identical output, so
 // this benchmark is a pure throughput ablation.
 func BenchmarkIngestSharded(b *testing.B) {
-	cat := tempest.NewCatalog(1)
-	lib := experiments.GroundTruthLibrary(cat)
-	stream := replay.Synthesize(replay.StreamConfig{Concurrency: 200, Events: 50000, Seed: 5})
+	lib := experiments.BenchLibrary()
+	stream := experiments.CleanBenchStream(50000)
 	run := func(b *testing.B, cfg core.Config) {
 		b.ReportAllocs()
 		var res replay.Result
@@ -358,9 +340,8 @@ func BenchmarkIngestSharded(b *testing.B) {
 // allocs/op must match the plain ingest benchmark exactly. The explain-on
 // sub-benchmark shows what recording actually costs for contrast.
 func BenchmarkIngestExplainOff(b *testing.B) {
-	cat := tempest.NewCatalog(1)
-	lib := experiments.GroundTruthLibrary(cat)
-	stream := replay.Synthesize(replay.StreamConfig{Concurrency: 200, Events: 50000, Seed: 5})
+	lib := experiments.BenchLibrary()
+	stream := experiments.CleanBenchStream(50000)
 	b.Run("off", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -1,0 +1,47 @@
+// Command benchmut rewrites one BENCH_<scenario>.json with every case's
+// ns_per_op (and derived ns/event) multiplied by a factor. CI uses it to
+// fabricate a known regression and assert `gretel-bench compare`
+// actually exits non-zero — a gate that cannot trip is worse than none.
+//
+// Usage: benchmut <in.json> <factor> <out.json>
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"gretel/internal/benchrunner"
+)
+
+func main() {
+	if len(os.Args) != 4 {
+		fmt.Fprintln(os.Stderr, "usage: benchmut <in.json> <factor> <out.json>")
+		os.Exit(2)
+	}
+	factor, err := strconv.ParseFloat(os.Args[2], 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchmut: bad factor %q: %v\n", os.Args[2], err)
+		os.Exit(2)
+	}
+	res, err := benchrunner.LoadBenchFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmut:", err)
+		os.Exit(1)
+	}
+	for i := range res.Cases {
+		res.Cases[i].NsPerOp *= factor
+		if v, ok := res.Cases[i].Extra["ns/event"]; ok {
+			res.Cases[i].Extra["ns/event"] = v * factor
+		}
+	}
+	b, err := benchrunner.MarshalResult(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmut:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(os.Args[3], b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmut:", err)
+		os.Exit(1)
+	}
+}

@@ -152,6 +152,11 @@ func main() {
 		}
 	}
 
+	// Every stream connected: the monitoring loop is live, /healthz on
+	// the telemetry address answers 200 from here on.
+	telemetry.SetReady(true)
+	defer telemetry.SetReady(false)
+
 	stageScenario(*scenarioF, d, plan)
 
 	// Periodic distributed-state reports (collectd + watchers, §5.1).

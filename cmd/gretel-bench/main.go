@@ -1,0 +1,219 @@
+// Command gretel-bench runs the scenario-driven performance harness
+// (internal/benchrunner) and gates regressions against the committed
+// BENCH_<scenario>.json trajectory at the repo root.
+//
+// Usage:
+//
+//	gretel-bench list
+//	gretel-bench run -scenario all -report json              # refresh BENCH_*.json
+//	gretel-bench run -scenario ingest -profile               # + pprof hotspots
+//	gretel-bench compare -fresh out/bench                    # diff vs committed baseline
+//
+// run executes the named scenarios (comma-separated, or "all") with a
+// pinned iteration count and renders them through the selected
+// reporter: "human" (table on stdout), "xunit" (XML on stdout), or
+// "json" — the canonical reporter, which writes one
+// BENCH_<scenario>.json per scenario into -out-dir. With -profile, CPU
+// and heap profiles land in -profile-dir and the top-3 hotspot frames
+// of each are recorded into the JSON.
+//
+// compare loads each scenario's baseline from -baseline (default ".",
+// the committed repo-root trajectory) and its fresh run from -fresh,
+// prints the per-metric deltas, and exits 1 if any gated metric moved
+// the wrong way past its tolerance (default 10%; override per metric
+// with -tol "ns_per_op=0.5,events/s=0.3"). Timing metrics need wide
+// tolerances when baseline and fresh ran on different machines;
+// allocation metrics barely move between identical builds and gate
+// reliably at the default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gretel/internal/benchrunner"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = runList()
+	case "run":
+		err = runRun(os.Args[2:])
+	case "compare":
+		err = runCompare(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "gretel-bench: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gretel-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `gretel-bench — scenario bench harness and regression gate
+
+subcommands:
+  list                     print the scenario registry
+  run [flags]              run scenarios and report results
+  compare [flags]          diff a fresh run against committed baselines
+
+run flags:
+  -scenario all|a,b,...    scenarios to run (default all)
+  -report human|json|xunit reporter (json writes BENCH_<scenario>.json)
+  -iterations N            iterations per case (default 3)
+  -short                   reduced CI-sized workloads
+  -profile                 capture CPU+heap pprof, record top-3 hotspots
+  -profile-dir DIR         profile output dir (default bench_profiles)
+  -out-dir DIR             where -report json writes files (default .)
+
+compare flags:
+  -scenario all|a,b,...    scenarios to compare (default all)
+  -baseline DIR            baseline BENCH_*.json dir (default .)
+  -fresh DIR               fresh BENCH_*.json dir (required)
+  -tolerance F             default allowed worsening fraction (default 0.10)
+  -tol m=f,...             per-metric overrides, e.g. ns_per_op=0.5
+  -quiet                   print only regressions
+`)
+}
+
+func runList() error {
+	for _, name := range benchrunner.Names() {
+		s, _ := benchrunner.Get(name)
+		fmt.Printf("%-18s %s\n", name, s.Description())
+	}
+	return nil
+}
+
+func runRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		scenarios  = fs.String("scenario", "all", "scenarios to run (comma-separated or all)")
+		report     = fs.String("report", "human", "reporter: human, json, xunit")
+		iterations = fs.Int("iterations", 3, "iterations per case")
+		short      = fs.Bool("short", false, "reduced CI-sized workloads")
+		profileF   = fs.Bool("profile", false, "capture CPU+heap profiles and record top-3 hotspots")
+		profileDir = fs.String("profile-dir", "bench_profiles", "profile output directory")
+		outDir     = fs.String("out-dir", ".", "directory -report json writes BENCH_<scenario>.json into")
+	)
+	fs.Parse(args)
+
+	names, err := benchrunner.Resolve(*scenarios)
+	if err != nil {
+		return err
+	}
+	reporter, err := benchrunner.NewReporter(*report)
+	if err != nil {
+		return err
+	}
+	opts := benchrunner.Options{
+		Iterations: *iterations,
+		Short:      *short,
+		Profile:    *profileF,
+		ProfileDir: *profileDir,
+	}
+
+	for _, name := range names {
+		s, _ := benchrunner.Get(name)
+		fmt.Fprintf(os.Stderr, "running %s (%d iterations)...\n", name, opts.Iterations)
+		res, err := benchrunner.Run(s, opts)
+		if err != nil {
+			return err
+		}
+		if *report == "json" {
+			path, err := benchrunner.WriteBenchFile(res, *outDir)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			// The human table still lands on stderr so a json run is
+			// readable in the terminal without opening the file.
+			benchrunner.HumanReporter{}.Report(res, os.Stderr)
+			continue
+		}
+		if err := reporter.Report(res, os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var (
+		scenarios = fs.String("scenario", "all", "scenarios to compare (comma-separated or all)")
+		baseline  = fs.String("baseline", ".", "directory holding baseline BENCH_*.json files")
+		fresh     = fs.String("fresh", "", "directory holding fresh BENCH_*.json files (required)")
+		tolerance = fs.Float64("tolerance", benchrunner.DefaultTolerance, "default allowed worsening fraction")
+		tolFlag   = fs.String("tol", "", "per-metric tolerance overrides (metric=fraction,...)")
+		quiet     = fs.Bool("quiet", false, "print only regressions")
+	)
+	fs.Parse(args)
+	if *fresh == "" {
+		return fmt.Errorf("compare: -fresh is required (run `gretel-bench run -report json -out-dir <dir>` first)")
+	}
+
+	names, err := benchrunner.Resolve(*scenarios)
+	if err != nil {
+		return err
+	}
+	perMetric, err := benchrunner.ParseTolerances(*tolFlag)
+	if err != nil {
+		return err
+	}
+	tol := benchrunner.Tolerance{Default: *tolerance, PerMetric: perMetric}
+
+	failed := false
+	for _, name := range names {
+		basePath := *baseline + "/" + benchrunner.BenchFileName(name)
+		freshPath := *fresh + "/" + benchrunner.BenchFileName(name)
+		base, err := benchrunner.LoadBenchFile(basePath)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Printf("%s: no committed baseline (%s) — skipping; commit one with `gretel-bench run -report json`\n",
+					name, basePath)
+				continue
+			}
+			return err
+		}
+		freshRes, err := benchrunner.LoadBenchFile(freshPath)
+		if err != nil {
+			return err
+		}
+		deltas, err := benchrunner.Compare(base, freshRes, tol)
+		if err != nil {
+			return err
+		}
+		regs := benchrunner.Regressions(deltas)
+		fmt.Printf("=== %s: baseline %s → fresh %s ===\n",
+			name, base.Timestamp, freshRes.Timestamp)
+		for _, d := range deltas {
+			if *quiet && !d.Regression {
+				continue
+			}
+			fmt.Println(d)
+		}
+		if len(regs) > 0 {
+			failed = true
+			fmt.Printf("%s: %d regression(s) past tolerance\n", name, len(regs))
+		} else {
+			fmt.Printf("%s: within tolerance\n", name)
+		}
+	}
+	if failed {
+		return fmt.Errorf("regression gate failed")
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -52,12 +53,17 @@ func main() {
 		}
 		// Per-run sections append; start each invocation fresh.
 		os.Remove(filepath.Join(*outDir, "telemetry.txt"))
+		os.Remove(filepath.Join(*outDir, "telemetry.json"))
 	}
 
 	// Each experiment runs against a zeroed default registry; its
-	// telemetry snapshot is appended to out/telemetry.txt so every
-	// figure's raw data ships with the pipeline counters and stage
-	// latencies that produced it.
+	// telemetry snapshot is appended to out/telemetry.txt — and the
+	// machine-readable mirror out/telemetry.json, one entry per
+	// experiment in the same snapshot schema (provenance included) the
+	// bench harness embeds in BENCH_*.json — so every figure's raw data
+	// ships with the pipeline counters and stage latencies that produced
+	// it.
+	var sections []telemetrySection
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
 			return
@@ -67,7 +73,12 @@ func main() {
 		start := time.Now()
 		fn()
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
-		appendTelemetry(*outDir, name)
+		snap := telemetry.Snap()
+		appendTelemetry(*outDir, name, snap)
+		// Rewrite the JSON after every experiment: an interrupted "all"
+		// run still leaves a valid file covering what completed.
+		sections = append(sections, telemetrySection{Experiment: name, Telemetry: snap})
+		writeTelemetryJSON(*outDir, sections)
 	}
 
 	parallels := []int{100, 200, 300, 400}
@@ -203,7 +214,7 @@ func main() {
 
 // appendTelemetry appends one experiment's registry snapshot as a named
 // section of dir/telemetry.txt; dir=="" is a no-op.
-func appendTelemetry(dir, name string) {
+func appendTelemetry(dir, name string, snap telemetry.Snapshot) {
 	if dir == "" {
 		return
 	}
@@ -214,7 +225,6 @@ func appendTelemetry(dir, name string) {
 		return
 	}
 	defer f.Close()
-	snap := telemetry.Snap()
 	fmt.Fprintf(f, "=== %s ===\n", name)
 	if err := snap.WriteText(f); err != nil {
 		log.Printf("writing %s: %v", path, err)
@@ -222,6 +232,31 @@ func appendTelemetry(dir, name string) {
 	}
 	fmt.Fprintln(f)
 	log.Printf("appended telemetry for %s to %s (%s)", name, path, snap)
+}
+
+// telemetrySection is one experiment's entry in out/telemetry.json: the
+// same snapshot schema the bench harness embeds in BENCH_*.json, so one
+// set of tooling reads both.
+type telemetrySection struct {
+	Experiment string             `json:"experiment"`
+	Telemetry  telemetry.Snapshot `json:"telemetry"`
+}
+
+// writeTelemetryJSON rewrites dir/telemetry.json with every section so
+// far; dir=="" is a no-op.
+func writeTelemetryJSON(dir string, sections []telemetrySection) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, "telemetry.json")
+	b, err := json.MarshalIndent(sections, "", "  ")
+	if err != nil {
+		log.Printf("writing %s: %v", path, err)
+		return
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		log.Printf("writing %s: %v", path, err)
+	}
 }
 
 // writeText writes a finished text report to dir/name.txt; dir=="" is a

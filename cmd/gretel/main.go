@@ -161,6 +161,10 @@ func main() {
 
 	var res replay.Result
 	start := time.Now()
+	// Analyzer constructed and hooks installed: the loop below is live.
+	// /healthz on the telemetry address flips to 200 from here on.
+	telemetry.SetReady(true)
+	defer telemetry.SetReady(false)
 	if *replayN > 0 {
 		// Self-test mode: a deterministic catalog workload with injected
 		// faults, same shape as the Fig. 8c throughput experiments.

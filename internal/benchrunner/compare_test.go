@@ -1,0 +1,199 @@
+package benchrunner
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineResult() *ScenarioResult {
+	return &ScenarioResult{
+		Schema: CurrentSchema, Scenario: "ingest", Short: true, Iterations: 3,
+		GitRev: "aaaa", Timestamp: "2026-08-01T00:00:00Z",
+		Cases: []CaseResult{
+			{
+				Name: "inline", Iterations: 3,
+				NsPerOp: 1e9, AllocsPerOp: 1000, BytesPerOp: 64000,
+				Extra: map[string]float64{
+					EventsPerOp: 20000, "events/s": 600000,
+					"ns/event": 50000, "reports": 12,
+				},
+			},
+			{
+				Name: "shards=4", Iterations: 3,
+				NsPerOp: 2e9, AllocsPerOp: 2000, BytesPerOp: 128000,
+				Extra: map[string]float64{EventsPerOp: 20000, "events/s": 300000},
+			},
+		},
+	}
+}
+
+// cloneResult deep-copies a ScenarioResult so tests can perturb one side.
+func cloneResult(r *ScenarioResult) *ScenarioResult {
+	out := *r
+	out.Cases = make([]CaseResult, len(r.Cases))
+	for i, c := range r.Cases {
+		out.Cases[i] = c
+		out.Cases[i].Extra = make(map[string]float64, len(c.Extra))
+		for k, v := range c.Extra {
+			out.Cases[i].Extra[k] = v
+		}
+	}
+	return &out
+}
+
+func TestCompareFlagsSyntheticRegression(t *testing.T) {
+	base := baselineResult()
+	fresh := cloneResult(base)
+	// The synthetic 2× regression the satellite spec demands: wall time
+	// doubles, throughput halves.
+	fresh.Cases[0].NsPerOp *= 2
+	fresh.Cases[0].Extra["events/s"] /= 2
+	fresh.Cases[0].Extra["ns/event"] *= 2
+
+	deltas, err := Compare(base, fresh, Tolerance{Default: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) == 0 {
+		t.Fatal("2× regression not flagged")
+	}
+	wantReg := map[string]bool{"ns_per_op": true, "events/s": true, "ns/event": true}
+	for _, d := range regs {
+		if d.Case != "inline" {
+			t.Errorf("untouched case flagged: %+v", d)
+		}
+		if !wantReg[d.Metric] {
+			t.Errorf("unexpected regression metric %q", d.Metric)
+		}
+		delete(wantReg, d.Metric)
+	}
+	for m := range wantReg {
+		t.Errorf("metric %q not flagged", m)
+	}
+	// The regression lines render with the failure mark.
+	if s := regs[0].String(); !strings.Contains(s, "✗") {
+		t.Errorf("regression line lacks mark: %q", s)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := baselineResult()
+	fresh := cloneResult(base)
+	// 5% worse everywhere: inside the default 10% gate.
+	fresh.Cases[0].NsPerOp *= 1.05
+	fresh.Cases[0].Extra["events/s"] *= 0.95
+	fresh.Cases[1].AllocsPerOp *= 1.05
+
+	deltas, err := Compare(base, fresh, Tolerance{Default: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %+v", regs)
+	}
+}
+
+func TestCompareImprovementNeverFlags(t *testing.T) {
+	base := baselineResult()
+	fresh := cloneResult(base)
+	// Better in both directions: faster and higher throughput.
+	fresh.Cases[0].NsPerOp /= 3
+	fresh.Cases[0].Extra["events/s"] *= 3
+
+	deltas, err := Compare(base, fresh, Tolerance{Default: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+func TestCompareInformationalMetricsNotGated(t *testing.T) {
+	base := baselineResult()
+	fresh := cloneResult(base)
+	// "reports" is informational (no direction): a big move must not gate.
+	fresh.Cases[0].Extra["reports"] = 999
+
+	deltas, err := Compare(base, fresh, Tolerance{Default: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d.Metric == "reports" && (d.Gated || d.Regression) {
+			t.Fatalf("informational metric gated: %+v", d)
+		}
+	}
+}
+
+func TestComparePerMetricToleranceOverride(t *testing.T) {
+	base := baselineResult()
+	fresh := cloneResult(base)
+	fresh.Cases[0].NsPerOp *= 1.5 // +50%
+
+	// Default 10% flags it...
+	deltas, _ := Compare(base, fresh, Tolerance{Default: 0.10})
+	if len(Regressions(deltas)) == 0 {
+		t.Fatal("+50% ns_per_op not flagged at 10%")
+	}
+	// ...a 3.0 override for timing lets it through.
+	deltas, _ = Compare(base, fresh, Tolerance{
+		Default: 0.10, PerMetric: map[string]float64{"ns_per_op": 3.0},
+	})
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("per-metric override ignored: %+v", regs)
+	}
+}
+
+func TestCompareRefusesModeMismatch(t *testing.T) {
+	base := baselineResult()
+	fresh := cloneResult(base)
+	fresh.Short = false
+	if _, err := Compare(base, fresh, Tolerance{}); err == nil {
+		t.Fatal("short-vs-full compare accepted")
+	}
+	other := cloneResult(base)
+	other.Scenario = "chaos-soak"
+	if _, err := Compare(base, other, Tolerance{}); err == nil {
+		t.Fatal("cross-scenario compare accepted")
+	}
+}
+
+func TestCompareMissingCaseFailsGate(t *testing.T) {
+	base := baselineResult()
+	fresh := cloneResult(base)
+	fresh.Cases = fresh.Cases[:1] // shards=4 vanished
+
+	deltas, err := Compare(base, fresh, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range Regressions(deltas) {
+		if d.Case == "shards=4" && d.Metric == "(case missing)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vanished case did not fail the gate: %+v", deltas)
+	}
+}
+
+func TestParseTolerances(t *testing.T) {
+	m, err := ParseTolerances("ns_per_op=0.5, events/s=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["ns_per_op"] != 0.5 || m["events/s"] != 0.3 {
+		t.Fatalf("parsed %v", m)
+	}
+	if m, err := ParseTolerances(""); err != nil || m != nil {
+		t.Fatalf("empty flag: %v, %v", m, err)
+	}
+	for _, bad := range []string{"ns_per_op", "x=-1", "x=abc"} {
+		if _, err := ParseTolerances(bad); err == nil {
+			t.Errorf("ParseTolerances(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+// Profile capture and hotspot extraction. The runner writes standard
+// runtime/pprof CPU and allocs profiles next to the bench results; the
+// top-3 leaf frames of each are decoded here — stdlib only, via a
+// minimal reader for the subset of the pprof protobuf the aggregation
+// needs — and recorded into BENCH_*.json so hotspot drift is diffable
+// per commit instead of living in one-off pprof sessions.
+
+package benchrunner
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startCPUProfile begins a CPU profile into path (creating the parent
+// directory) and returns the stop function.
+func startCPUProfile(path string) (func() error, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// writeHeapProfile snapshots the allocs profile (cumulative allocation
+// sites since process start) into path after a GC pass.
+func writeHeapProfile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.Lookup("allocs").WriteTo(f, 0)
+}
+
+// TopHotspots parses a gzipped pprof protobuf profile and returns the n
+// leaf functions with the largest flat share of the given sample type
+// ("cpu" for CPU profiles, "alloc_space" for allocs profiles; an
+// unmatched name falls back to the profile's last value column).
+func TopHotspots(path, sampleType string, n int) ([]Hotspot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return topHotspots(raw, sampleType, n)
+}
+
+func topHotspots(raw []byte, sampleType string, n int) ([]Hotspot, error) {
+	p, err := parseProfile(raw)
+	if err != nil {
+		return nil, err
+	}
+	idx := len(p.sampleTypes) - 1
+	for i, st := range p.sampleTypes {
+		if p.str(st.typ) == sampleType {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, errors.New("profile has no sample types")
+	}
+
+	flat := map[string]int64{}
+	var total int64
+	for _, s := range p.samples {
+		if idx >= len(s.vals) || len(s.locs) == 0 {
+			continue
+		}
+		v := s.vals[idx]
+		if v == 0 {
+			continue
+		}
+		name := p.funcNameAt(s.locs[0])
+		flat[name] += v
+		total += v
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	hs := make([]Hotspot, 0, len(flat))
+	for name, v := range flat {
+		hs = append(hs, Hotspot{Function: name, FlatPct: 100 * float64(v) / float64(total)})
+	}
+	sortHotspots(hs)
+	if len(hs) > n {
+		hs = hs[:n]
+	}
+	return hs, nil
+}
+
+// --- minimal pprof protobuf decoding ---
+//
+// profile.proto subset:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table (string)
+//	ValueType: 1 type, 2 unit            (string table indexes)
+//	Sample:    1 location_id (repeated uint64), 2 value (repeated int64)
+//	Location:  1 id, 4 line (Line)
+//	Line:      1 function_id
+//	Function:  1 id, 2 name              (string table index)
+
+type valueType struct{ typ, unit int64 }
+
+type sample struct {
+	locs []uint64
+	vals []int64
+}
+
+type profile struct {
+	sampleTypes []valueType
+	samples     []sample
+	locLeafFunc map[uint64]uint64 // location id → innermost function id
+	funcNames   map[uint64]int64  // function id → string index
+	strings     []string
+}
+
+func (p *profile) str(i int64) string {
+	if i >= 0 && int(i) < len(p.strings) {
+		return p.strings[i]
+	}
+	return ""
+}
+
+// funcNameAt resolves a location id to its innermost function name,
+// with placeholders for unsymbolized locations.
+func (p *profile) funcNameAt(loc uint64) string {
+	fid, ok := p.locLeafFunc[loc]
+	if !ok {
+		return "(unsymbolized)"
+	}
+	if name := p.str(p.funcNames[fid]); name != "" {
+		return name
+	}
+	return "(unnamed)"
+}
+
+type pbuf struct {
+	b []byte
+	i int
+}
+
+func (p *pbuf) empty() bool { return p.i >= len(p.b) }
+
+func (p *pbuf) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if p.i >= len(p.b) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		c := p.b[p.i]
+		p.i++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("varint overflows 64 bits")
+}
+
+// tag reads one field tag, returning field number and wire type.
+func (p *pbuf) tag() (int, int, error) {
+	v, err := p.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytesField reads one length-delimited field body.
+func (p *pbuf) bytesField() ([]byte, error) {
+	n, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p.b)-p.i) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := p.b[p.i : p.i+int(n)]
+	p.i += int(n)
+	return out, nil
+}
+
+func (p *pbuf) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := p.varint()
+		return err
+	case 1:
+		if len(p.b)-p.i < 8 {
+			return io.ErrUnexpectedEOF
+		}
+		p.i += 8
+		return nil
+	case 2:
+		_, err := p.bytesField()
+		return err
+	case 5:
+		if len(p.b)-p.i < 4 {
+			return io.ErrUnexpectedEOF
+		}
+		p.i += 4
+		return nil
+	default:
+		return fmt.Errorf("unsupported wire type %d", wire)
+	}
+}
+
+// uints decodes a repeated uint64 field occurrence: packed
+// (length-delimited) or a single unpacked varint.
+func uints(p *pbuf, wire int, into []uint64) ([]uint64, error) {
+	if wire == 0 {
+		v, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(into, v), nil
+	}
+	body, err := p.bytesField()
+	if err != nil {
+		return nil, err
+	}
+	q := &pbuf{b: body}
+	for !q.empty() {
+		v, err := q.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+func parseProfile(raw []byte) (*profile, error) {
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		if raw, err = io.ReadAll(zr); err != nil {
+			return nil, err
+		}
+	}
+
+	p := &profile{
+		locLeafFunc: map[uint64]uint64{},
+		funcNames:   map[uint64]int64{},
+	}
+	top := &pbuf{b: raw}
+	for !top.empty() {
+		field, wire, err := top.tag()
+		if err != nil {
+			return nil, err
+		}
+		if wire != 2 || (field != 1 && field != 2 && field != 4 && field != 5 && field != 6) {
+			if err := top.skip(wire); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		body, err := top.bytesField()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1:
+			vt, err := parseValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			p.sampleTypes = append(p.sampleTypes, vt)
+		case 2:
+			s, err := parseSample(body)
+			if err != nil {
+				return nil, err
+			}
+			p.samples = append(p.samples, s)
+		case 4:
+			if err := parseLocation(body, p); err != nil {
+				return nil, err
+			}
+		case 5:
+			if err := parseFunction(body, p); err != nil {
+				return nil, err
+			}
+		case 6:
+			p.strings = append(p.strings, string(body))
+		}
+	}
+	return p, nil
+}
+
+func parseValueType(body []byte) (valueType, error) {
+	var vt valueType
+	p := &pbuf{b: body}
+	for !p.empty() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return vt, err
+		}
+		if wire == 0 && (field == 1 || field == 2) {
+			v, err := p.varint()
+			if err != nil {
+				return vt, err
+			}
+			if field == 1 {
+				vt.typ = int64(v)
+			} else {
+				vt.unit = int64(v)
+			}
+			continue
+		}
+		if err := p.skip(wire); err != nil {
+			return vt, err
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(body []byte) (sample, error) {
+	var s sample
+	p := &pbuf{b: body}
+	for !p.empty() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case 1:
+			if s.locs, err = uints(p, wire, s.locs); err != nil {
+				return s, err
+			}
+		case 2:
+			vals, err := uints(p, wire, nil)
+			if err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.vals = append(s.vals, int64(v))
+			}
+		default:
+			if err := p.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseLocation records the location's innermost (first listed) line's
+// function id.
+func parseLocation(body []byte, out *profile) error {
+	var id, leafFunc uint64
+	seenLine := false
+	p := &pbuf{b: body}
+	for !p.empty() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return err
+		}
+		switch {
+		case field == 1 && wire == 0:
+			if id, err = p.varint(); err != nil {
+				return err
+			}
+		case field == 4 && wire == 2:
+			line, err := p.bytesField()
+			if err != nil {
+				return err
+			}
+			if seenLine {
+				continue // only the innermost frame counts as the leaf
+			}
+			seenLine = true
+			q := &pbuf{b: line}
+			for !q.empty() {
+				lf, lw, err := q.tag()
+				if err != nil {
+					return err
+				}
+				if lf == 1 && lw == 0 {
+					if leafFunc, err = q.varint(); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := q.skip(lw); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := p.skip(wire); err != nil {
+				return err
+			}
+		}
+	}
+	if id != 0 && seenLine {
+		out.locLeafFunc[id] = leafFunc
+	}
+	return nil
+}
+
+func parseFunction(body []byte, out *profile) error {
+	var id uint64
+	var name int64
+	p := &pbuf{b: body}
+	for !p.empty() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return err
+		}
+		if wire == 0 && (field == 1 || field == 2) {
+			v, err := p.varint()
+			if err != nil {
+				return err
+			}
+			if field == 1 {
+				id = v
+			} else {
+				name = int64(v)
+			}
+			continue
+		}
+		if err := p.skip(wire); err != nil {
+			return err
+		}
+	}
+	if id != 0 {
+		out.funcNames[id] = name
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package benchrunner
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math"
+	"runtime/pprof"
+	"testing"
+)
+
+// --- hand-encoded profile.proto fixture ---
+
+func pvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func pfield(b []byte, field, wire int) []byte {
+	return pvarint(b, uint64(field<<3|wire))
+}
+
+func pbytes(b []byte, field int, body []byte) []byte {
+	b = pfield(b, field, 2)
+	b = pvarint(b, uint64(len(body)))
+	return append(b, body...)
+}
+
+// testProfile builds a two-sample CPU profile by hand:
+//
+//	sample_type: (samples, count), (cpu, nanoseconds)
+//	fnHot: leaf of a 700ns sample; fnWarm: leaf of a 300ns sample
+//
+// Sample 1 uses packed repeated encoding, sample 2 unpacked — the parser
+// must accept both.
+func testProfile() []byte {
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "fnHot", "fnWarm"}
+
+	var vt1, vt2 []byte
+	vt1 = pfield(vt1, 1, 0)
+	vt1 = pvarint(vt1, 1) // samples
+	vt1 = pfield(vt1, 2, 0)
+	vt1 = pvarint(vt1, 2) // count
+	vt2 = pfield(vt2, 1, 0)
+	vt2 = pvarint(vt2, 3) // cpu
+	vt2 = pfield(vt2, 2, 0)
+	vt2 = pvarint(vt2, 4) // nanoseconds
+
+	mkFunc := func(id, name uint64) []byte {
+		var f []byte
+		f = pfield(f, 1, 0)
+		f = pvarint(f, id)
+		f = pfield(f, 2, 0)
+		f = pvarint(f, name)
+		return f
+	}
+	mkLoc := func(id, funcID uint64) []byte {
+		var line []byte
+		line = pfield(line, 1, 0)
+		line = pvarint(line, funcID)
+		var l []byte
+		l = pfield(l, 1, 0)
+		l = pvarint(l, id)
+		return pbytes(l, 4, line)
+	}
+
+	// Sample 1: stack [loc1, loc2] (leaf fnHot), values [7, 700], packed.
+	var s1, packedLocs, packedVals []byte
+	packedLocs = pvarint(packedLocs, 1)
+	packedLocs = pvarint(packedLocs, 2)
+	packedVals = pvarint(packedVals, 7)
+	packedVals = pvarint(packedVals, 700)
+	s1 = pbytes(s1, 1, packedLocs)
+	s1 = pbytes(s1, 2, packedVals)
+
+	// Sample 2: stack [loc2, loc1] (leaf fnWarm), values [3, 300], unpacked.
+	var s2 []byte
+	for _, loc := range []uint64{2, 1} {
+		s2 = pfield(s2, 1, 0)
+		s2 = pvarint(s2, loc)
+	}
+	for _, v := range []uint64{3, 300} {
+		s2 = pfield(s2, 2, 0)
+		s2 = pvarint(s2, v)
+	}
+
+	var p []byte
+	p = pbytes(p, 1, vt1)
+	p = pbytes(p, 1, vt2)
+	p = pbytes(p, 2, s1)
+	p = pbytes(p, 2, s2)
+	p = pbytes(p, 4, mkLoc(1, 1))
+	p = pbytes(p, 4, mkLoc(2, 2))
+	p = pbytes(p, 5, mkFunc(1, 5))
+	p = pbytes(p, 5, mkFunc(2, 6))
+	for _, s := range strs {
+		p = pbytes(p, 6, []byte(s))
+	}
+	return p
+}
+
+func TestTopHotspotsHandEncoded(t *testing.T) {
+	hs, err := topHotspots(testProfile(), "cpu", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 {
+		t.Fatalf("hotspots = %+v, want 2", hs)
+	}
+	if hs[0].Function != "fnHot" || math.Abs(hs[0].FlatPct-70) > 1e-9 {
+		t.Errorf("top = %+v, want fnHot 70%%", hs[0])
+	}
+	if hs[1].Function != "fnWarm" || math.Abs(hs[1].FlatPct-30) > 1e-9 {
+		t.Errorf("second = %+v, want fnWarm 30%%", hs[1])
+	}
+	// The "samples" column tells a different story: 7 vs 3.
+	hs, err = topHotspots(testProfile(), "samples", 1)
+	if err != nil || len(hs) != 1 || hs[0].Function != "fnHot" || math.Abs(hs[0].FlatPct-70) > 1e-9 {
+		t.Errorf("samples column: %+v, %v", hs, err)
+	}
+	// An unknown sample type falls back to the last value column.
+	hs, err = topHotspots(testProfile(), "wall", 1)
+	if err != nil || len(hs) != 1 || math.Abs(hs[0].FlatPct-70) > 1e-9 {
+		t.Errorf("fallback column: %+v, %v", hs, err)
+	}
+}
+
+func TestTopHotspotsGzipped(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(testProfile())
+	zw.Close()
+	hs, err := topHotspots(buf.Bytes(), "cpu", 3)
+	if err != nil || len(hs) != 2 || hs[0].Function != "fnHot" {
+		t.Fatalf("gzipped parse: %+v, %v", hs, err)
+	}
+}
+
+func TestTopHotspotsTruncated(t *testing.T) {
+	// Cut inside the final length-delimited string so the parser sees a
+	// body shorter than its declared length.
+	raw := testProfile()
+	if _, err := topHotspots(raw[:len(raw)-3], "cpu", 3); err == nil {
+		t.Error("truncated profile accepted")
+	}
+}
+
+// TestTopHotspotsRealAllocsProfile feeds a profile the runtime actually
+// wrote — the allocs profile always has samples in a test binary — so
+// the decoder is checked against real pprof output, not just the
+// hand-built fixture.
+func TestTopHotspotsRealAllocsProfile(t *testing.T) {
+	// Make sure at least one allocation site exists with a healthy count.
+	sink := make([][]byte, 0, 512)
+	for i := 0; i < 512; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := topHotspots(buf.Bytes(), "alloc_space", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) == 0 {
+		t.Fatal("real allocs profile yielded no hotspots")
+	}
+	var sum float64
+	for _, h := range hs {
+		if h.Function == "" || h.FlatPct <= 0 || h.FlatPct > 100 {
+			t.Errorf("bad hotspot %+v", h)
+		}
+		sum += h.FlatPct
+	}
+	if sum > 100.0001 {
+		t.Errorf("top-3 shares sum to %.2f%% > 100%%", sum)
+	}
+}

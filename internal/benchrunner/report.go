@@ -1,0 +1,213 @@
+// Pluggable reporters over ScenarioResult: a human table for terminals,
+// xunit XML for CI test-result ingestion, and the canonical JSON layout
+// that becomes the committed BENCH_<scenario>.json trajectory files.
+
+package benchrunner
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Reporter renders one scenario result to a stream.
+type Reporter interface {
+	Report(res *ScenarioResult, w io.Writer) error
+}
+
+// NewReporter returns the named reporter: "human", "json", or "xunit".
+func NewReporter(name string) (Reporter, error) {
+	switch name {
+	case "human":
+		return HumanReporter{}, nil
+	case "json":
+		return JSONReporter{}, nil
+	case "xunit":
+		return XUnitReporter{}, nil
+	default:
+		return nil, fmt.Errorf("unknown reporter %q (have: human, json, xunit)", name)
+	}
+}
+
+// HumanReporter renders a fixed-width table per scenario.
+type HumanReporter struct{}
+
+// Report writes the table.
+func (HumanReporter) Report(res *ScenarioResult, w io.Writer) error {
+	mode := "full"
+	if res.Short {
+		mode = "short"
+	}
+	fmt.Fprintf(w, "=== %s (%s, %d iterations, rev %s, GOMAXPROCS %d) ===\n",
+		res.Scenario, mode, res.Iterations, shortRev(res.GitRev), res.GOMAXPROCS)
+	fmt.Fprintf(w, "%-14s %14s %14s %14s  %s\n", "case", "ns/op", "allocs/op", "B/op", "extras")
+	for _, c := range res.Cases {
+		fmt.Fprintf(w, "%-14s %14.0f %14.0f %14.0f  %s\n",
+			c.Name, c.NsPerOp, c.AllocsPerOp, c.BytesPerOp, formatExtras(c.Extra))
+	}
+	writeHotspots := func(label string, hs []Hotspot) {
+		if len(hs) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%s hotspots:", label)
+		for _, h := range hs {
+			fmt.Fprintf(w, "  %.1f%% %s", h.FlatPct, h.Function)
+		}
+		fmt.Fprintln(w)
+	}
+	writeHotspots("cpu", res.CPUHotspots)
+	writeHotspots("heap", res.HeapHotspots)
+	return nil
+}
+
+// formatExtras renders extras sorted by name, rates first is not worth
+// the special case — alphabetical is stable and greppable.
+func formatExtras(extra map[string]float64) string {
+	if len(extra) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(extra))
+	for k := range extra {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, k := range names {
+		parts = append(parts, fmt.Sprintf("%s=%.6g", k, extra[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func shortRev(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+// JSONReporter emits the canonical indented JSON (fixed field order,
+// sorted map keys, trailing newline) — byte-deterministic for a given
+// result, which is what makes BENCH_*.json files diffable.
+type JSONReporter struct{}
+
+// Report writes the canonical JSON.
+func (JSONReporter) Report(res *ScenarioResult, w io.Writer) error {
+	b, err := MarshalResult(res)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// MarshalResult renders the canonical BENCH_*.json bytes.
+func MarshalResult(res *ScenarioResult) ([]byte, error) {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// BenchFileName is the repo-root file a scenario's trajectory lives in.
+func BenchFileName(scenario string) string { return "BENCH_" + scenario + ".json" }
+
+// WriteBenchFile writes the canonical JSON to dir/BENCH_<scenario>.json
+// and returns the path.
+func WriteBenchFile(res *ScenarioResult, dir string) (string, error) {
+	b, err := MarshalResult(res)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, BenchFileName(res.Scenario))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadBenchFile reads and validates one BENCH_*.json.
+func LoadBenchFile(path string) (*ScenarioResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res ScenarioResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if res.Schema != CurrentSchema {
+		return nil, fmt.Errorf("%s: schema %d, this binary reads %d", path, res.Schema, CurrentSchema)
+	}
+	if res.Scenario == "" || len(res.Cases) == 0 {
+		return nil, fmt.Errorf("%s: empty scenario or case list", path)
+	}
+	return &res, nil
+}
+
+// XUnitReporter renders one <testsuite> per scenario, each case a
+// <testcase> with its wall time — the shape CI dashboards ingest.
+type XUnitReporter struct{}
+
+type xunitProperty struct {
+	Name  string  `xml:"name,attr"`
+	Value float64 `xml:"value,attr"`
+}
+
+type xunitCase struct {
+	Classname  string          `xml:"classname,attr"`
+	Name       string          `xml:"name,attr"`
+	Time       float64         `xml:"time,attr"`
+	Properties []xunitProperty `xml:"properties>property,omitempty"`
+}
+
+type xunitSuite struct {
+	XMLName xml.Name    `xml:"testsuite"`
+	Name    string      `xml:"name,attr"`
+	Tests   int         `xml:"tests,attr"`
+	Time    float64     `xml:"time,attr"`
+	Cases   []xunitCase `xml:"testcase"`
+}
+
+// Report writes the xunit XML.
+func (XUnitReporter) Report(res *ScenarioResult, w io.Writer) error {
+	suite := xunitSuite{
+		Name:  "gretel-bench." + res.Scenario,
+		Tests: len(res.Cases),
+	}
+	for _, c := range res.Cases {
+		xc := xunitCase{
+			Classname: suite.Name,
+			Name:      c.Name,
+			Time:      c.NsPerOp / 1e9,
+		}
+		suite.Time += xc.Time
+		names := make([]string, 0, len(c.Extra))
+		for k := range c.Extra {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			xc.Properties = append(xc.Properties, xunitProperty{Name: k, Value: c.Extra[k]})
+		}
+		xc.Properties = append(xc.Properties,
+			xunitProperty{Name: "allocs/op", Value: c.AllocsPerOp},
+			xunitProperty{Name: "B/op", Value: c.BytesPerOp})
+		suite.Cases = append(suite.Cases, xc)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(suite); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,203 @@
+package benchrunner
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gretel/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenResult is a fully pinned ScenarioResult: fixed timestamp, fixed
+// revision, multi-key maps. If marshalling is deterministic anywhere, it
+// is deterministic here.
+func goldenResult() *ScenarioResult {
+	return &ScenarioResult{
+		Schema:      CurrentSchema,
+		Scenario:    "ingest",
+		Description: "golden fixture",
+		GitRev:      "0123456789abcdef0123456789abcdef01234567",
+		Timestamp:   "2026-08-08T12:00:00Z",
+		GoVersion:   "go1.24.0",
+		GOOS:        "linux",
+		GOARCH:      "amd64",
+		GOMAXPROCS:  1,
+		Short:       true,
+		Iterations:  3,
+		Cases: []CaseResult{
+			{
+				Name: "inline", Iterations: 3,
+				NsPerOp: 31536000, AllocsPerOp: 20640, BytesPerOp: 1310720,
+				Extra: map[string]float64{
+					EventsPerOp: 20000, "events/s": 634195.8,
+					"ns/event": 1576.8, "allocs/event": 1.032,
+					"B/event": 65.536, "Mbps": 212.4, "reports": 0,
+				},
+			},
+			{
+				Name: "shards=2", Iterations: 3,
+				NsPerOp: 33112800, AllocsPerOp: 21640, BytesPerOp: 1410720,
+				Extra: map[string]float64{
+					EventsPerOp: 20000, "events/s": 604000,
+					"ns/event": 1655.64, "allocs/event": 1.082,
+					"B/event": 70.536, "Mbps": 202.3, "reports": 0,
+				},
+			},
+		},
+		CPUHotspots: []Hotspot{
+			{Function: "gretel/internal/tsoutliers.mad", FlatPct: 58.3},
+			{Function: "gretel/internal/core.(*Analyzer).Ingest", FlatPct: 12.1},
+			{Function: "runtime.mallocgc", FlatPct: 7.9},
+		},
+		HeapHotspots: []Hotspot{
+			{Function: "gretel/internal/replay.Synthesize", FlatPct: 41.0},
+			{Function: "gretel/internal/core.newPairTable", FlatPct: 22.5},
+		},
+		Telemetry: &telemetry.Snapshot{
+			Provenance: telemetry.Provenance{
+				GitRev:    "0123456789abcdef0123456789abcdef01234567",
+				GoVersion: "go1.24.0", GOMAXPROCS: 1,
+			},
+			Counters: map[string]uint64{
+				"core.events_ingested": 40000,
+				"core.reports_emitted": 0,
+				"agent.frames_decoded": 120,
+			},
+			Gauges: map[string]int64{"core.pair_table_size": 812},
+			Histograms: map[string]telemetry.HistStats{
+				"core.detect_latency": {Count: 40000, MeanMs: 0.0012, P50Ms: 0.001, P90Ms: 0.002, P99Ms: 0.004, MaxMs: 0.9},
+			},
+		},
+	}
+}
+
+// TestGoldenBenchJSON pins the canonical BENCH_*.json byte layout: fixed
+// field order, sorted map keys, trailing newline. A diff here means the
+// schema changed — bump CurrentSchema and regenerate baselines.
+func TestGoldenBenchJSON(t *testing.T) {
+	got, err := MarshalResult(goldenResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_bench.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run TestGoldenBenchJSON -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("marshal drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// Determinism: a second marshal of an equal fixture is byte-identical.
+	again, err := MarshalResult(goldenResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Error("two marshals of equal results differ")
+	}
+	if !bytes.HasSuffix(got, []byte("}\n")) {
+		t.Error("missing trailing newline")
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	res := goldenResult()
+	path, err := WriteBenchFile(res, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_ingest.json" {
+		t.Fatalf("path = %s", path)
+	}
+	back, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Errorf("round trip lost data:\n got %+v\nwant %+v", back, res)
+	}
+}
+
+func TestLoadBenchFileValidates(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := LoadBenchFile(write("schema.json", `{"schema": 99, "scenario": "x", "cases": [{"name": "a"}]}`)); err == nil {
+		t.Error("future schema accepted")
+	}
+	if _, err := LoadBenchFile(write("empty.json", `{"schema": 1, "scenario": "x", "cases": []}`)); err == nil {
+		t.Error("empty case list accepted")
+	}
+	if _, err := LoadBenchFile(write("garbage.json", `not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadBenchFile(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
+		t.Error("missing file should surface os.IsNotExist")
+	}
+}
+
+func TestHumanReporter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (HumanReporter{}).Report(goldenResult(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"=== ingest (short, 3 iterations, rev 0123456789ab, GOMAXPROCS 1) ===",
+		"inline", "shards=2", "events/s=634196",
+		"cpu hotspots:", "58.3% gretel/internal/tsoutliers.mad",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestXUnitReporter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (XUnitReporter{}).Report(goldenResult(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`<testsuite name="gretel-bench.ingest" tests="2"`,
+		`classname="gretel-bench.ingest" name="inline"`,
+		`<property name="events/s" value="634195.8">`,
+		`<property name="B/op"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xunit missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewReporter(t *testing.T) {
+	for _, name := range []string{"human", "json", "xunit"} {
+		if r, err := NewReporter(name); err != nil || r == nil {
+			t.Errorf("NewReporter(%q) = %v, %v", name, r, err)
+		}
+	}
+	if _, err := NewReporter("csv"); err == nil {
+		t.Error("unknown reporter accepted")
+	}
+}

@@ -1,0 +1,313 @@
+// The first-class scenario registry: each named scenario wires the
+// runner to a real pipeline through the same entry points the go-test
+// benchmarks use (internal/experiments bench workloads, replay.Drive,
+// core.New), so harness results and `go test -bench` results measure
+// the same code on the same inputs.
+
+package benchrunner
+
+import (
+	"fmt"
+	"time"
+
+	"gretel/internal/agent"
+	"gretel/internal/chaos"
+	"gretel/internal/core"
+	"gretel/internal/experiments"
+	"gretel/internal/fingerprint"
+	"gretel/internal/replay"
+	"gretel/internal/scenario"
+	"gretel/internal/trace"
+	"gretel/internal/tracestore"
+)
+
+func init() {
+	Register("ingest", func() Scenario {
+		return &ingestScenario{desc: "sharded ingest front-end vs inline baseline on the canonical fault-free stream (replay.Drive)"}
+	})
+	Register("fig8c-parallel", func() Scenario {
+		return &parallelScenario{desc: "detect worker pool 1/2/4/8 vs inline on the canonical Fig 8c faulty stream"}
+	})
+	Register("explain-overhead", func() Scenario {
+		return &explainScenario{desc: "evidence-trace recording on vs off on the canonical faulty stream (tracestore delta)"}
+	})
+	Register("chaos-soak", func() Scenario {
+		return &chaosScenario{desc: "delivered/s through the fault-injecting chaos dialer, sender → TCP → receiver → analyzer"}
+	})
+	Register("table1-learning", func() Scenario {
+		return &table1Scenario{desc: "full offline characterization: 1200 isolated executions, noise filtering, LCS learning"}
+	})
+}
+
+// driveExtras folds a replay result into the standard extra metrics.
+func driveExtras(res replay.Result) Metrics {
+	return Metrics{
+		EventsPerOp: float64(res.Events),
+		"events/s":  res.EventsPerSec,
+		"Mbps":      res.Mbps,
+		"reports":   float64(res.Reports),
+	}
+}
+
+// --- ingest: inline vs -ingest-shards 1/2/4/8 ---
+
+type ingestScenario struct {
+	desc   string
+	lib    *fingerprint.Library
+	stream []trace.Event
+}
+
+func (s *ingestScenario) Name() string        { return "ingest" }
+func (s *ingestScenario) Description() string { return s.desc }
+func (s *ingestScenario) Teardown() error     { s.lib, s.stream = nil, nil; return nil }
+
+func (s *ingestScenario) Setup(opts Options) error {
+	events := 50000
+	if opts.Short {
+		events = 20000
+	}
+	s.lib = experiments.BenchLibrary()
+	s.stream = experiments.CleanBenchStream(events)
+	return nil
+}
+
+func (s *ingestScenario) Cases() []Case {
+	mk := func(name string, cfg core.Config) Case {
+		return Case{Name: name, Run: func() (Metrics, error) {
+			a := core.New(s.lib, cfg)
+			return driveExtras(replay.Drive(a, s.stream)), nil
+		}}
+	}
+	cases := []Case{mk("inline", core.Config{})}
+	for _, shards := range []int{1, 2, 4, 8} {
+		cases = append(cases, mk(fmt.Sprintf("shards=%d", shards), core.Config{IngestShards: shards}))
+	}
+	return cases
+}
+
+// --- fig8c-parallel: detect workers 1/2/4/8 ---
+
+type parallelScenario struct {
+	desc   string
+	lib    *fingerprint.Library
+	stream []trace.Event
+}
+
+func (s *parallelScenario) Name() string        { return "fig8c-parallel" }
+func (s *parallelScenario) Description() string { return s.desc }
+func (s *parallelScenario) Teardown() error     { s.lib, s.stream = nil, nil; return nil }
+
+func (s *parallelScenario) Setup(opts Options) error {
+	events := 100000
+	if opts.Short {
+		events = 30000
+	}
+	s.lib = experiments.BenchLibrary()
+	s.stream = experiments.FaultyBenchStream(events)
+	return nil
+}
+
+func (s *parallelScenario) Cases() []Case {
+	mk := func(name string, workers int) Case {
+		return Case{Name: name, Run: func() (Metrics, error) {
+			a := core.New(s.lib, core.Config{DetectWorkers: workers})
+			res := replay.Drive(a, s.stream)
+			if res.Reports == 0 {
+				return nil, fmt.Errorf("faulty stream produced no reports")
+			}
+			return driveExtras(res), nil
+		}}
+	}
+	cases := []Case{mk("inline", 0)}
+	for _, w := range []int{1, 2, 4, 8} {
+		cases = append(cases, mk(fmt.Sprintf("workers=%d", w), w))
+	}
+	return cases
+}
+
+// --- explain-overhead: evidence tracing on vs off ---
+
+type explainScenario struct {
+	desc   string
+	lib    *fingerprint.Library
+	stream []trace.Event
+}
+
+func (s *explainScenario) Name() string        { return "explain-overhead" }
+func (s *explainScenario) Description() string { return s.desc }
+func (s *explainScenario) Teardown() error     { s.lib, s.stream = nil, nil; return nil }
+
+func (s *explainScenario) Setup(opts Options) error {
+	events := 50000
+	if opts.Short {
+		events = 20000
+	}
+	s.lib = experiments.BenchLibrary()
+	// Faulty stream: traces are only recorded when reports fire, so an
+	// all-healthy run would measure the (nil-check) disabled path twice.
+	s.stream = experiments.FaultyBenchStream(events)
+	return nil
+}
+
+func (s *explainScenario) Cases() []Case {
+	return []Case{
+		{Name: "off", Run: func() (Metrics, error) {
+			a := core.New(s.lib, core.Config{})
+			a.SetExplain(nil)
+			return driveExtras(replay.Drive(a, s.stream)), nil
+		}},
+		{Name: "on", Run: func() (Metrics, error) {
+			a := core.New(s.lib, core.Config{})
+			a.SetExplain(tracestore.New(0))
+			res := replay.Drive(a, s.stream)
+			if res.TracesStored == 0 {
+				return nil, fmt.Errorf("explain mode stored no traces")
+			}
+			extra := driveExtras(res)
+			extra["traces_stored"] = float64(res.TracesStored)
+			return extra, nil
+		}},
+	}
+}
+
+// --- chaos-soak: delivered/s through the chaos dialer ---
+
+type chaosScenario struct {
+	desc   string
+	events []trace.Event
+	lib    *fingerprint.Library
+}
+
+func (s *chaosScenario) Name() string        { return "chaos-soak" }
+func (s *chaosScenario) Description() string { return s.desc }
+func (s *chaosScenario) Teardown() error     { s.events, s.lib = nil, nil; return nil }
+
+func (s *chaosScenario) Setup(opts Options) error {
+	n := 6000
+	if opts.Short {
+		n = 2500
+	}
+	// The chaos soak test's stream shape (internal/chaos/soak_test.go),
+	// scaled for benchmarking.
+	s.events = replay.Synthesize(replay.StreamConfig{
+		Events: n, Concurrency: 40, FaultEvery: 400, Seed: 11,
+	})
+	s.lib = scenario.CoreLibrary()
+	return nil
+}
+
+func (s *chaosScenario) Cases() []Case {
+	return []Case{{Name: "soak", Run: s.runSoak}}
+}
+
+// runSoak pushes the stream through sender → chaos conn → receiver →
+// analyzer once and reports delivered/s plus the loss accounting. The
+// zero-silent-loss invariant (delivered + missing == sent) is asserted:
+// a bench run that loses events silently measures garbage.
+func (s *chaosScenario) runSoak() (Metrics, error) {
+	recv, err := agent.ListenConfig(agent.ReceiverConfig{
+		Addr: "127.0.0.1:0", ReadTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	snd, err := agent.DialConfig(agent.SenderConfig{
+		Addr: recv.Addr(), Agent: "bench-agent",
+		Ring:       1 << 15, // retain the whole stream: resets replay, nothing sheds
+		Heartbeat:  5 * time.Millisecond,
+		BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		WriteTimeout: 2 * time.Second, DrainTimeout: 30 * time.Second,
+		Dialer: chaos.Dialer(chaos.Config{
+			Seed: 1971,
+			Drop: 0.02, Corrupt: 0.02, Split: 0.1,
+			Delay: 0.05, DelayBy: 100 * time.Microsecond,
+			Stall: 0.002, StallFor: 10 * time.Millisecond,
+			Reset: 0.005,
+		}),
+	})
+	if err != nil {
+		recv.Close()
+		return nil, err
+	}
+
+	a := core.New(s.lib, core.Config{Alpha: 256})
+	var sendErr error
+	var final agent.AgentStat
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range s.events {
+			snd.Send(s.events[i])
+			if i%16 == 15 {
+				// Brief throttle so the writer flushes many small chunks,
+				// giving per-write fault injection frame boundaries to hit.
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			final = recv.AgentStats()["bench-agent"]
+			if final.LastSeq >= uint64(len(s.events)) {
+				break
+			}
+			if time.Now().After(deadline) {
+				sendErr = fmt.Errorf("receiver high-water stuck at %d/%d", final.LastSeq, len(s.events))
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		snd.Close()
+		recv.Close()
+	}()
+	res := replay.DriveTransport(a, recv, nil)
+	<-done
+	if sendErr != nil {
+		return nil, sendErr
+	}
+
+	delivered := a.Stats.Events
+	if delivered+final.Missing != uint64(len(s.events)) {
+		return nil, fmt.Errorf("silent loss: %d delivered + %d missing != %d sent",
+			delivered, final.Missing, len(s.events))
+	}
+	return Metrics{
+		EventsPerOp:   float64(delivered),
+		"delivered/s": res.EventsPerSec,
+		"delivered":   float64(delivered),
+		"missing":     float64(final.Missing),
+		"dups":        float64(final.Dups),
+		"gaps":        float64(res.Gaps),
+	}, nil
+}
+
+// --- table1-learning: the full offline characterization pass ---
+
+type table1Scenario struct {
+	desc string
+	runs int
+}
+
+func (s *table1Scenario) Name() string        { return "table1-learning" }
+func (s *table1Scenario) Description() string { return s.desc }
+func (s *table1Scenario) Teardown() error     { return nil }
+
+func (s *table1Scenario) Setup(opts Options) error {
+	s.runs = 2
+	if opts.Short {
+		s.runs = 1
+	}
+	return nil
+}
+
+func (s *table1Scenario) Cases() []Case {
+	return []Case{{
+		Name: fmt.Sprintf("runs=%d", s.runs),
+		Run: func() (Metrics, error) {
+			res := experiments.Table1(1, s.runs)
+			if res.FPMax != 384 {
+				return nil, fmt.Errorf("FPmax = %d, want the paper's 384", res.FPMax)
+			}
+			return Metrics{"fpmax": float64(res.FPMax)}, nil
+		},
+	}}
+}

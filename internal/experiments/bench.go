@@ -1,0 +1,52 @@
+// Canonical benchmark workloads. The repository's go-test benchmarks
+// (bench_test.go) and the scenario bench harness
+// (internal/benchrunner) both build their streams and libraries here,
+// so the two measurement paths exercise identical inputs by
+// construction — `go test -bench` and `gretel-bench` cannot drift.
+package experiments
+
+import (
+	"gretel/internal/fingerprint"
+	"gretel/internal/openstack"
+	"gretel/internal/replay"
+	"gretel/internal/tempest"
+	"gretel/internal/trace"
+)
+
+// BenchLibrary is the canonical fingerprint library for throughput
+// benchmarks: the seed-1 catalog's ground-truth fingerprints.
+func BenchLibrary() *fingerprint.Library {
+	return GroundTruthLibrary(tempest.NewCatalog(1))
+}
+
+// BenchOps is the canonical throughput operation mix: every 6th test of
+// the seed-1 catalog (~200 operations across all service categories).
+func BenchOps() []*openstack.Operation {
+	cat := tempest.NewCatalog(1)
+	ops := make([]*openstack.Operation, 0, 200)
+	for i, t := range cat.Tests {
+		if i%6 == 0 {
+			ops = append(ops, t.Op)
+		}
+	}
+	return ops
+}
+
+// FaultyBenchStream is the canonical Fig 8c-shaped stream: the BenchOps
+// mix at concurrency 400 with one injected fault per 1000 messages,
+// seed 7. Both BenchmarkFig8c_* and the harness's fig8c-parallel and
+// explain-overhead scenarios replay exactly this.
+func FaultyBenchStream(events int) []trace.Event {
+	return replay.Synthesize(replay.StreamConfig{
+		Ops: BenchOps(), Concurrency: 400, Events: events, FaultEvery: 1000, Seed: 7,
+	})
+}
+
+// CleanBenchStream is the canonical fault-free ingest stream: the
+// default core-operation mix at concurrency 200, seed 5 — pairing and
+// per-API latency accounting are the whole cost. BenchmarkAnalyzerIngest,
+// BenchmarkIngestSharded, BenchmarkIngestExplainOff, and the harness's
+// ingest scenario replay exactly this.
+func CleanBenchStream(events int) []trace.Event {
+	return replay.Synthesize(replay.StreamConfig{Concurrency: 200, Events: events, Seed: 5})
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,6 +70,41 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// ready is the process-wide readiness bit behind /healthz. It starts
+// false: a freshly exec'd analyzer that is still loading its fingerprint
+// library or binding its listener answers 503, and flips to 200 the
+// moment the main loop is live. Harnesses (the bench runner, smoke
+// scripts, future federation coordinators) poll /healthz instead of
+// sleeping an arbitrary grace period.
+var ready atomic.Bool
+
+// SetReady flips the process readiness bit served by /healthz.
+func SetReady(ok bool) { ready.Store(ok) }
+
+// Ready reports the current readiness bit.
+func Ready() bool { return ready.Load() }
+
+// healthz answers 200 "ok" once SetReady(true) has been called and
+// 503 "starting" before (and after SetReady(false), e.g. during
+// drain). The body is flat text like /metrics; ?format=json wraps the
+// same answer for machine consumers.
+func healthz(w http.ResponseWriter, req *http.Request) {
+	ok := ready.Load()
+	status, body := http.StatusOK, "ok"
+	if !ok {
+		status, body = http.StatusServiceUnavailable, "starting"
+	}
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]any{"status": body, "ready": ok})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintln(w, body)
+}
+
 // Mount attaches an extra handler to the introspection mux — how
 // subsystems with their own live views (e.g. the evidence-trace store's
 // /traces endpoints) join the telemetry surface without this package
@@ -79,12 +115,13 @@ type Mount struct {
 }
 
 // NewMux builds the introspection mux: /metrics (the registry),
-// /debug/vars (expvar), /debug/pprof/ (profiles), plus any extra
-// mounts. The explicit pprof registrations mirror what net/http/pprof
+// /healthz (readiness), /debug/vars (expvar), /debug/pprof/
+// (profiles), plus any extra mounts. The explicit pprof registrations mirror what net/http/pprof
 // does on http.DefaultServeMux, which we deliberately avoid mutating.
 func NewMux(r *Registry, mounts ...Mount) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/healthz", healthz)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

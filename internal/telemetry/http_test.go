@@ -135,3 +135,40 @@ func TestServeLive(t *testing.T) {
 		t.Fatalf("/metrics missing process funcs: code %d, body %q", code, body)
 	}
 }
+
+func TestHealthzReadiness(t *testing.T) {
+	mux := NewMux(newPopulatedRegistry())
+	get := func(path string) (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	SetReady(false)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("before SetReady: code=%d body=%q, want 503 starting", code, body)
+	}
+	SetReady(true)
+	defer SetReady(false)
+	if !Ready() {
+		t.Fatal("Ready() false after SetReady(true)")
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("after SetReady: code=%d body=%q, want 200 ok", code, body)
+	}
+	code, body := get("/healthz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("json healthz code = %d", code)
+	}
+	var parsed struct {
+		Status string `json:"status"`
+		Ready  bool   `json:"ready"`
+	}
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("healthz json: %v (%q)", err, body)
+	}
+	if parsed.Status != "ok" || !parsed.Ready {
+		t.Fatalf("healthz json = %+v", parsed)
+	}
+}

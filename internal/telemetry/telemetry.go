@@ -26,6 +26,8 @@ import (
 	"log"
 	"math"
 	"math/bits"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -353,8 +355,61 @@ func (r *Registry) RegisterFunc(name string, fn func() float64) {
 // paying the name lookup per event.
 func (r *Registry) StartSpan(name string) Span { return r.Histogram(name).Start() }
 
+// Provenance identifies the build and runtime a snapshot came from, so
+// every exported measurement — /metrics JSON, out/telemetry.json from
+// the experiments harness, BENCH_*.json from the bench runner — carries
+// the same answer to "which code, on how many cores, produced this".
+type Provenance struct {
+	// GitRev is the VCS revision stamped into the binary by the go tool
+	// ("unknown" when the build carries no VCS info, e.g. test binaries).
+	GitRev string `json:"git_rev"`
+	// Dirty reports uncommitted changes at build time (vcs.modified).
+	Dirty bool `json:"dirty,omitempty"`
+	// BuildTime is the commit timestamp stamped by the go tool (vcs.time,
+	// RFC 3339), empty when unstamped.
+	BuildTime string `json:"build_time,omitempty"`
+	// GoVersion is the toolchain that built the process.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the parallelism limit at snapshot time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// buildProv caches the per-process (build-determined) provenance fields.
+var (
+	buildProvOnce sync.Once
+	buildProv     Provenance
+)
+
+// Prov returns the current provenance: build identity read once from
+// runtime/debug.ReadBuildInfo, GOMAXPROCS read fresh (it can change at
+// run time).
+func Prov() Provenance {
+	buildProvOnce.Do(func() {
+		buildProv.GoVersion = runtime.Version()
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					buildProv.GitRev = s.Value
+				case "vcs.time":
+					buildProv.BuildTime = s.Value
+				case "vcs.modified":
+					buildProv.Dirty = s.Value == "true"
+				}
+			}
+		}
+		if buildProv.GitRev == "" {
+			buildProv.GitRev = "unknown"
+		}
+	})
+	p := buildProv
+	p.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	return p
+}
+
 // Snapshot captures every metric's current value.
 type Snapshot struct {
+	Provenance Provenance           `json:"provenance"`
 	Counters   map[string]uint64    `json:"counters"`
 	Gauges     map[string]int64     `json:"gauges"`
 	Funcs      map[string]float64   `json:"funcs,omitempty"`
@@ -385,6 +440,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RUnlock()
 
 	snap := Snapshot{
+		Provenance: Prov(),
 		Counters:   make(map[string]uint64, len(counters)),
 		Gauges:     make(map[string]int64, len(gauges)),
 		Histograms: make(map[string]HistStats, len(hists)),

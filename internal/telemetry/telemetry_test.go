@@ -288,3 +288,21 @@ func TestLogFirst(t *testing.T) {
 		t.Fatal("second LogFirst should not log")
 	}
 }
+
+func TestSnapshotCarriesProvenance(t *testing.T) {
+	p := Prov()
+	if p.GoVersion == "" {
+		t.Error("provenance go_version empty")
+	}
+	if p.GOMAXPROCS < 1 {
+		t.Errorf("provenance gomaxprocs = %d", p.GOMAXPROCS)
+	}
+	// Test binaries carry no VCS stamp; the field must still be filled.
+	if p.GitRev == "" {
+		t.Error("provenance git_rev empty (want a revision or \"unknown\")")
+	}
+	snap := NewRegistry().Snapshot()
+	if snap.Provenance != p {
+		t.Errorf("snapshot provenance %+v != Prov() %+v", snap.Provenance, p)
+	}
+}
