@@ -19,6 +19,7 @@ import (
 	"gretel/internal/tempest"
 	"gretel/internal/trace"
 	"gretel/internal/tracestore"
+	"gretel/internal/tsoutliers"
 )
 
 // BenchmarkTable1_Characterization measures the full offline learning
@@ -365,6 +366,35 @@ func BenchmarkIngestExplainOff(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(stream)), "events/op")
 	})
+}
+
+// BenchmarkDetectorObserve measures the steady-state per-sample cost of
+// the level-shift detector on the canonical detector series
+// (internal/experiments/bench.go, shared with the harness's detector
+// scenario). Per-event work is O(log Window) with the incremental
+// order-statistic window, so the sub-benchmarks should stay near-flat
+// as the window grows 16x; allocs/op must be 0 — the MAD path owns no
+// per-event allocations anymore (the old re-sort allocated a deviation
+// slice per sample and was ~60% of ingest CPU).
+func BenchmarkDetectorObserve(b *testing.B) {
+	series := experiments.DetectorBenchSeries(100000)
+	t0 := time.Date(2016, 12, 12, 0, 0, 0, 0, time.UTC)
+	for _, window := range []int{60, 240, 960} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			d := tsoutliers.New(tsoutliers.Options{Window: window, MinSpread: 0.5, MaxAlarms: 4096})
+			// Warm past seeding, window fill, and alarm-ring growth so
+			// the timed region is pure steady state.
+			for i, v := range series {
+				d.Observe(t0.Add(time.Duration(i)*time.Millisecond), v)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := series[i%len(series)]
+				d.Observe(t0.Add(time.Duration(i)*time.Millisecond), v)
+			}
+		})
+	}
 }
 
 // BenchmarkFingerprintLearn measures Algorithm 1 on a realistic trace set.

@@ -19,6 +19,7 @@ import (
 	"gretel/internal/scenario"
 	"gretel/internal/trace"
 	"gretel/internal/tracestore"
+	"gretel/internal/tsoutliers"
 )
 
 func init() {
@@ -36,6 +37,9 @@ func init() {
 	})
 	Register("table1-learning", func() Scenario {
 		return &table1Scenario{desc: "full offline characterization: 1200 isolated executions, noise filtering, LCS learning"}
+	})
+	Register("detector", func() Scenario {
+		return &detectorScenario{desc: "steady-state level-shift detector Observe cost (incremental order statistics) across window sizes"}
 	})
 }
 
@@ -278,6 +282,51 @@ func (s *chaosScenario) runSoak() (Metrics, error) {
 		"dups":        float64(final.Dups),
 		"gaps":        float64(res.Gaps),
 	}, nil
+}
+
+// --- detector: level-shift detector Observe microbench ---
+
+type detectorScenario struct {
+	desc   string
+	series []float64
+}
+
+func (s *detectorScenario) Name() string        { return "detector" }
+func (s *detectorScenario) Description() string { return s.desc }
+func (s *detectorScenario) Teardown() error     { s.series = nil; return nil }
+
+func (s *detectorScenario) Setup(opts Options) error {
+	n := 1_000_000
+	if opts.Short {
+		n = 250_000
+	}
+	s.series = experiments.DetectorBenchSeries(n)
+	return nil
+}
+
+// Cases sweep the inlier window bound: per-event work is O(log W), so
+// the trajectory should stay near-flat as W grows 16x — the committed
+// numbers are the regression guard for that property.
+func (s *detectorScenario) Cases() []Case {
+	mk := func(window int) Case {
+		return Case{Name: fmt.Sprintf("window=%d", window), Run: func() (Metrics, error) {
+			d := tsoutliers.New(tsoutliers.Options{Window: window, MinSpread: 0.5, MaxAlarms: 4096})
+			t0 := time.Date(2016, 12, 12, 0, 0, 0, 0, time.UTC)
+			for i, v := range s.series {
+				d.Observe(t0.Add(time.Duration(i)*time.Millisecond), v)
+			}
+			if d.AlarmCount(0) == 0 || len(d.Shifts()) == 0 {
+				return nil, fmt.Errorf("detector series raised no alarms/shifts (alarms=%d, shifts=%d)",
+					d.AlarmCount(0), len(d.Shifts()))
+			}
+			return Metrics{
+				EventsPerOp: float64(len(s.series)),
+				"alarms":    float64(d.AlarmCount(0)),
+				"shifts":    float64(len(d.Shifts())),
+			}, nil
+		}}
+	}
+	return []Case{mk(60), mk(240), mk(960)}
 }
 
 // --- table1-learning: the full offline characterization pass ---

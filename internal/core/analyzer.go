@@ -262,6 +262,12 @@ func (c *Config) defaults(lib *fingerprint.Library) {
 		// so micro-jitter never alarms.
 		c.Latency.MinSpread = 5e-3
 	}
+	if c.Latency.MaxAlarms == 0 {
+		// Bound each per-API detector's alarm history so hours-long
+		// chaos soaks cannot grow analyzer memory without limit; alarm
+		// *counts* stay exact. Negative keeps the unbounded history.
+		c.Latency.MaxAlarms = 4096
+	}
 	if c.DetectWorkers < 0 {
 		c.DetectWorkers = runtime.GOMAXPROCS(0)
 	}

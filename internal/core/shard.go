@@ -61,6 +61,10 @@ type latTrack struct {
 	stats        map[trace.API]*stats.Summary
 	lastPerfSnap map[trace.API]time.Time
 	keys         map[trace.API]string
+	// sumPool slab-allocates the per-API summaries (16 per allocation):
+	// first-observation cost for a new API stays off the per-event
+	// allocation profile.
+	sumPool stats.Pool
 }
 
 func newLatTrack(opt tsoutliers.Options) latTrack {
@@ -103,7 +107,7 @@ func (l *latTrack) due(api trace.API, at time.Time, cooldown time.Duration) bool
 func (l *latTrack) observe(api trace.API, at time.Time, latency time.Duration, cfg *Config) (alarms int, armPerf bool) {
 	sum := l.stats[api]
 	if sum == nil {
-		sum = stats.NewSummary()
+		sum = l.sumPool.Get()
 		l.stats[api] = sum
 	}
 	sum.Observe(latency.Seconds())

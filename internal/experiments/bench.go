@@ -50,3 +50,34 @@ func FaultyBenchStream(events int) []trace.Event {
 func CleanBenchStream(events int) []trace.Event {
 	return replay.Synthesize(replay.StreamConfig{Concurrency: 200, Events: events, Seed: 5})
 }
+
+// DetectorBenchSeries is the canonical level-shift detector series: a
+// jittery baseline with a sustained level episode every 4096 samples
+// and occasional isolated spikes, deterministic in n. It exercises the
+// detector's whole state machine — inlier maintenance (the MAD hot
+// path), outlier runs, confirmed shifts with window rebuilds.
+// BenchmarkDetectorObserve and the harness's detector scenario feed
+// exactly this.
+func DetectorBenchSeries(n int) []float64 {
+	s := make([]float64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	level := 40.0
+	for i := range s {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		if i > 0 && i%4096 == 0 { // sustained episode: shift and revert
+			if level == 40 {
+				level = 90
+			} else {
+				level = 40
+			}
+		}
+		jitter := float64(state%2048)/1024 - 1 // [-1, 1)
+		s[i] = level + 2*jitter
+		if state%977 == 0 { // isolated spike: alarms without a run
+			s[i] += 60
+		}
+	}
+	return s
+}

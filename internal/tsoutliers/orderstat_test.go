@@ -1,0 +1,138 @@
+package tsoutliers
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sliceOracle mirrors an orderStat with a sorted slice.
+type sliceOracle struct{ s []float64 }
+
+func (o *sliceOracle) insert(v float64) {
+	o.s = append(o.s, v)
+	sort.Float64s(o.s)
+}
+
+func (o *sliceOracle) remove(v float64) {
+	for i, x := range o.s {
+		if x == v || (math.IsNaN(x) && math.IsNaN(v)) {
+			o.s = append(o.s[:i], o.s[i+1:]...)
+			return
+		}
+	}
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestOrderStatAgainstSortedSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tr orderStat
+	var or sliceOracle
+	var live []float64 // insertion order, for FIFO-style removals
+
+	for step := 0; step < 5000; step++ {
+		if len(live) > 0 && (rng.Intn(3) == 0 || len(live) > 64) {
+			v := live[0]
+			live = live[1:]
+			tr.Remove(v)
+			or.remove(v)
+		} else {
+			// Small value domain forces heavy duplication.
+			v := float64(rng.Intn(12)) / 4
+			live = append(live, v)
+			tr.Insert(v)
+			or.insert(v)
+		}
+		if tr.Len() != len(or.s) {
+			t.Fatalf("step %d: Len = %d, oracle %d", step, tr.Len(), len(or.s))
+		}
+		if len(or.s) > 0 {
+			// Spot-check three ranks plus the median every step.
+			for _, k := range []int{0, len(or.s) / 2, len(or.s) - 1} {
+				if got := tr.Kth(k); !bitsEqual(got, or.s[k]) {
+					t.Fatalf("step %d: Kth(%d) = %v, oracle %v", step, k, got, or.s[k])
+				}
+			}
+			if got, want := tr.Median(), median(or.s); !bitsEqual(got, want) {
+				t.Fatalf("step %d: Median = %v, oracle %v", step, got, want)
+			}
+		}
+	}
+}
+
+func TestOrderStatNaNOrder(t *testing.T) {
+	var tr orderStat
+	tr.Insert(math.NaN())
+	tr.Insert(1)
+	tr.Insert(math.NaN())
+	tr.Insert(-2)
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// sort.Float64s order: NaN, NaN, -2, 1.
+	if !math.IsNaN(tr.Kth(0)) || !math.IsNaN(tr.Kth(1)) {
+		t.Fatal("NaNs must sort first")
+	}
+	if tr.Kth(2) != -2 || tr.Kth(3) != 1 {
+		t.Fatalf("order = %v %v", tr.Kth(2), tr.Kth(3))
+	}
+	tr.Remove(math.NaN())
+	tr.Remove(math.NaN())
+	if tr.Len() != 2 || tr.Kth(0) != -2 {
+		t.Fatalf("after NaN removal: len=%d kth0=%v", tr.Len(), tr.Kth(0))
+	}
+}
+
+func TestOrderStatEdges(t *testing.T) {
+	var tr orderStat
+	if tr.Len() != 0 || tr.Median() != 0 || tr.Kth(0) != 0 {
+		t.Fatal("empty multiset accessors")
+	}
+	tr.Remove(5) // absent key: no-op
+	tr.Insert(3)
+	if tr.Median() != 3 || tr.Kth(5) != 0 {
+		t.Fatalf("singleton median=%v out-of-range=%v", tr.Median(), tr.Kth(5))
+	}
+	// Even count averages the two middle slots exactly like the oracle.
+	tr.Insert(4)
+	if got, want := tr.Median(), (3.0+4.0)/2; got != want {
+		t.Fatalf("even median = %v, want %v", got, want)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset left elements")
+	}
+	// Pool reuse after Reset: structure still correct.
+	for i := 0; i < 10; i++ {
+		tr.Insert(float64(i % 3))
+	}
+	if tr.Len() != 10 || tr.Median() != 1 {
+		t.Fatalf("after reuse: len=%d median=%v", tr.Len(), tr.Median())
+	}
+}
+
+func TestOrderStatPoolSteadyStateAllocFree(t *testing.T) {
+	var tr orderStat
+	// Warm the pool to its high-water mark: 64 distinct live keys plus
+	// headroom for the insert-before-remove ordering.
+	for i := 0; i < 130; i++ {
+		tr.Insert(float64(i % 65))
+	}
+	for i := 0; i < 130; i++ {
+		tr.Remove(float64(i % 65))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Insert(float64(i % 64))
+		tr.Median()
+		tr.Remove(float64((i + 7) % 64))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state insert/median/remove allocated %.1f allocs/op", allocs)
+	}
+}

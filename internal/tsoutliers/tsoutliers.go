@@ -92,6 +92,13 @@ type Options struct {
 	// TCTolerance is the relative tolerance for "reverted to the prior
 	// level" (default 0.25: within 25% of the pre-shift level).
 	TCTolerance float64
+	// MaxAlarms bounds the retained alarm history to a ring of the most
+	// recent alarms, so hours-long soaks cannot grow detector memory
+	// without limit. 0 keeps the full history (unbounded — the
+	// back-compatible test default); the analyzer config applies a
+	// generous bound. AlarmCount stays exact regardless: per-kind totals
+	// are counted separately from the ring.
+	MaxAlarms int
 }
 
 func (o *Options) defaults() {
@@ -120,6 +127,13 @@ func (o *Options) defaults() {
 
 // Detector is an online level-shift detector for one series. Not safe for
 // concurrent use; callers shard one detector per series.
+//
+// Per-observation work is O(log Window) and allocation-free in steady
+// state: the inlier window's absolute deviations around the current
+// level live in an incremental order-statistic multiset (orderstat.go),
+// so the rolling MAD is two rank selections instead of a re-sort. The
+// level only moves on seed and confirmed shifts — rare — and those are
+// the only points that rebuild the deviation structure.
 type Detector struct {
 	opt Options
 
@@ -128,12 +142,30 @@ type Detector struct {
 	level   float64
 	base    float64 // initial level, anchor of the adjusted series
 
-	inliers []float64 // recent inlier values (window-bounded)
+	// Inlier window: win is a ring of the recent inlier values in
+	// arrival order (the eviction order), dev the order-statistic
+	// multiset of their deviations |x - level|. All deviations in dev
+	// were computed against the current level: every level move
+	// rebuilds the window, so the two never drift.
+	win     []float64
+	winHead int
+	winLen  int
+	dev     orderStat
 
 	run     []float64 // current consecutive-outlier run values
 	runSign int
 
-	alarms []Alarm
+	// alarms is the retained history: a plain append log when
+	// Options.MaxAlarms <= 0, otherwise a ring of the most recent
+	// MaxAlarms alarms starting at alarmHead. kindCounts keeps exact
+	// totals (index 0 = all kinds) even after ring eviction.
+	alarms     []Alarm
+	alarmHead  int
+	kindCounts [4]uint64
+
+	out     []Alarm   // Observe's reusable return buffer
+	scratch []float64 // seed/shift median scratch
+
 	shifts []ShiftRecord
 	// lastShiftN records the sample index of the most recent shift, for
 	// temporary-change classification.
@@ -148,6 +180,10 @@ func New(opt Options) *Detector {
 	return &Detector{opt: opt}
 }
 
+// median is the naive sort-and-pick median. It survives as the oracle
+// the equivalence tests compare the incremental structure against, and
+// still defines the selection semantics: s[m/2] for odd m,
+// (s[m/2-1]+s[m/2])/2 for even.
 func median(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -161,7 +197,8 @@ func median(xs []float64) float64 {
 	return (s[m-1] + s[m]) / 2
 }
 
-// mad computes the scaled median absolute deviation around center.
+// mad computes the scaled median absolute deviation around center —
+// the naive oracle form (see median).
 func mad(xs []float64, center float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -173,22 +210,65 @@ func mad(xs []float64, center float64) float64 {
 	return 1.4826 * median(dev)
 }
 
-// Observe feeds one sample and returns any alarms it raised.
+// medianOf is the allocation-free naive median used where the window
+// is rebuilt anyway (seed, confirmed shift): it sorts into a detector-
+// owned scratch slice. Selection is identical to median.
+func (d *Detector) medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	d.scratch = append(d.scratch[:0], xs...)
+	sort.Float64s(d.scratch)
+	s := d.scratch
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// spread returns the scaled MAD of the inlier window around the
+// current level, from the incremental structure: value-identical to
+// mad(inliers, level) because rank selection over the deviation
+// multiset picks the same floats the sorted slice would.
+func (d *Detector) spread() float64 {
+	return 1.4826 * d.dev.Median()
+}
+
+// rebuildWindow resets the inlier window to xs around the (just moved)
+// current level: the only O(n log n)-ish moment, at seeds and
+// confirmed shifts.
+func (d *Detector) rebuildWindow(xs []float64) {
+	d.dev.Reset()
+	if cap(d.win) < len(xs) {
+		d.win = make([]float64, len(xs))
+	}
+	d.win = d.win[:cap(d.win)]
+	d.winHead, d.winLen = 0, len(xs)
+	copy(d.win, xs)
+	for _, x := range xs {
+		d.dev.Insert(math.Abs(x - d.level))
+	}
+}
+
+// Observe feeds one sample and returns any alarms it raised. The
+// returned slice is a detector-owned buffer reused by the next Observe
+// call: read or copy it before observing again, do not retain it.
 func (d *Detector) Observe(t time.Time, v float64) []Alarm {
 	d.n++
 	if !d.seeded {
 		d.seedBuf = append(d.seedBuf, v)
 		if len(d.seedBuf) >= d.opt.Warmup {
-			d.level = median(d.seedBuf)
+			d.level = d.medianOf(d.seedBuf)
 			d.base = d.level
-			d.inliers = append(d.inliers, d.seedBuf...)
+			d.rebuildWindow(d.seedBuf)
 			d.seedBuf = nil
 			d.seeded = true
 		}
 		return nil
 	}
 
-	spread := mad(d.inliers, d.level)
+	spread := d.spread()
 	if spread < d.opt.MinSpread {
 		spread = d.opt.MinSpread
 	}
@@ -214,11 +294,11 @@ func (d *Detector) Observe(t time.Time, v float64) []Alarm {
 	}
 	d.run = append(d.run, v)
 
-	out := []Alarm{{Time: t, Kind: Outlier, Value: v, Level: d.level, Threshold: threshold}}
+	out := append(d.out[:0], Alarm{Time: t, Kind: Outlier, Value: v, Level: d.level, Threshold: threshold})
 
 	if len(d.run) >= d.opt.MinRun {
 		from := d.level
-		d.level = median(d.run)
+		d.level = d.medianOf(d.run)
 		d.shifts = append(d.shifts, ShiftRecord{Time: t, From: from, To: d.level})
 		out = append(out, Alarm{Time: t, Kind: Shift, Value: v, Level: d.level, Threshold: threshold})
 		// Temporary change: this shift undoes a recent one, landing back
@@ -234,19 +314,78 @@ func (d *Detector) Observe(t time.Time, v float64) []Alarm {
 		d.lastShiftN = d.n
 		// Re-seed the baseline at the new level so post-shift variation
 		// is judged against fresh spread.
-		d.inliers = append(d.inliers[:0], d.run...)
+		d.rebuildWindow(d.run)
 		d.run = d.run[:0]
 		d.runSign = 0
 	}
 
-	d.alarms = append(d.alarms, out...)
+	d.out = out
+	for i := range out {
+		d.record(out[i])
+	}
 	return out
 }
 
+// pushInlier appends v to the inlier window and evicts past the
+// Window bound, keeping the deviation multiset in lockstep.
 func (d *Detector) pushInlier(v float64) {
-	d.inliers = append(d.inliers, v)
-	if len(d.inliers) > d.opt.Window {
-		d.inliers = d.inliers[len(d.inliers)-d.opt.Window:]
+	if d.winLen == len(d.win) {
+		d.growWin()
+	}
+	i := d.winHead + d.winLen
+	if i >= len(d.win) {
+		i -= len(d.win)
+	}
+	d.win[i] = v
+	d.winLen++
+	d.dev.Insert(math.Abs(v - d.level))
+	for d.winLen > d.opt.Window {
+		old := d.win[d.winHead]
+		d.winHead++
+		if d.winHead == len(d.win) {
+			d.winHead = 0
+		}
+		d.winLen--
+		d.dev.Remove(math.Abs(old - d.level))
+	}
+}
+
+// growWin linearizes the ring into a larger buffer. It settles once
+// capacity exceeds the Window bound (and the warmup/run sizes), after
+// which pushes never allocate.
+func (d *Detector) growWin() {
+	newCap := 2 * len(d.win)
+	if min := d.opt.Window + 1; newCap < min {
+		newCap = min
+	}
+	nw := make([]float64, newCap)
+	for i := 0; i < d.winLen; i++ {
+		j := d.winHead + i
+		if j >= len(d.win) {
+			j -= len(d.win)
+		}
+		nw[i] = d.win[j]
+	}
+	d.win = nw
+	d.winHead = 0
+}
+
+// record appends one alarm to the retained history, evicting the
+// oldest when the MaxAlarms ring is full. Kind totals stay exact.
+func (d *Detector) record(a Alarm) {
+	d.kindCounts[0]++
+	if k := int(a.Kind); k > 0 && k < len(d.kindCounts) {
+		d.kindCounts[k]++
+	}
+	max := d.opt.MaxAlarms
+	if max <= 0 || len(d.alarms) < max {
+		d.alarms = append(d.alarms, a)
+		return
+	}
+	d.alarms[d.alarmHead] = a
+	d.alarmHead++
+	if d.alarmHead == max {
+		d.alarmHead = 0
 	}
 }
 
@@ -257,21 +396,29 @@ func (d *Detector) Level() float64 { return d.level }
 // paper's blue line): the value minus accumulated level movement.
 func (d *Detector) Adjusted(v float64) float64 { return v - (d.level - d.base) }
 
-// Alarms returns all alarms raised so far.
-func (d *Detector) Alarms() []Alarm { return d.alarms }
+// Alarms returns the retained alarm history in chronological order:
+// everything raised so far when Options.MaxAlarms <= 0, otherwise the
+// most recent MaxAlarms alarms (AlarmCount totals stay exact either
+// way). Until the ring wraps this is the live backing slice; a wrapped
+// ring is linearized into a fresh slice.
+func (d *Detector) Alarms() []Alarm {
+	if d.alarmHead == 0 {
+		return d.alarms
+	}
+	out := make([]Alarm, len(d.alarms))
+	n := copy(out, d.alarms[d.alarmHead:])
+	copy(out[n:], d.alarms[:d.alarmHead])
+	return out
+}
 
-// AlarmCount reports the number of alarms of the given kind (0 counts all).
+// AlarmCount reports the number of alarms of the given kind raised
+// over the detector's whole lifetime (0 counts all kinds). Counts are
+// exact even after the MaxAlarms ring evicted old alarms.
 func (d *Detector) AlarmCount(kind AlarmKind) int {
-	if kind == 0 {
-		return len(d.alarms)
+	if k := int(kind); k >= 0 && k < len(d.kindCounts) {
+		return int(d.kindCounts[k])
 	}
-	n := 0
-	for _, a := range d.alarms {
-		if a.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return 0
 }
 
 // Shifts returns the confirmed level shifts.
@@ -297,7 +444,9 @@ func NewBank(opt Options) *Bank {
 	return &Bank{opt: opt, byID: make(map[string]*Detector)}
 }
 
-// Observe routes a sample to the keyed detector.
+// Observe routes a sample to the keyed detector. Like
+// Detector.Observe, the returned slice is a buffer owned by that
+// detector, valid only until its next observation.
 func (b *Bank) Observe(key string, t time.Time, v float64) []Alarm {
 	d, ok := b.byID[key]
 	if !ok {

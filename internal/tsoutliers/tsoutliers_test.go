@@ -309,3 +309,143 @@ func TestTempChangeKindString(t *testing.T) {
 		t.Fatal("kind string")
 	}
 }
+
+func TestMaxAlarmsRing(t *testing.T) {
+	opt := Options{MinSpread: 0.5, MinRun: 1000, MaxAlarms: 8}
+	d := New(opt)
+	unbounded := New(Options{MinSpread: 0.5, MinRun: 1000})
+	// Warm both on a quiet baseline, then raise many isolated outliers
+	// (MinRun is unreachable, so every alarm is an Outlier).
+	for i := 0; i < 40; i++ {
+		d.Observe(at(i), 10)
+		unbounded.Observe(at(i), 10)
+	}
+	for i := 0; i < 25; i++ {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1 // alternate sides so no run ever builds
+		}
+		d.Observe(at(100+i), 10+sign*500)
+		unbounded.Observe(at(100+i), 10+sign*500)
+	}
+
+	if got := d.Alarms(); len(got) != 8 {
+		t.Fatalf("ring holds %d alarms, want 8", len(got))
+	}
+	// The ring keeps the most recent alarms in chronological order.
+	want := unbounded.Alarms()
+	tail := want[len(want)-8:]
+	for i, a := range d.Alarms() {
+		if !a.Time.Equal(tail[i].Time) || a.Value != tail[i].Value {
+			t.Fatalf("ring[%d] = %+v, want %+v", i, a, tail[i])
+		}
+	}
+	// Counts stay exact despite eviction.
+	if d.AlarmCount(0) != 25 || d.AlarmCount(Outlier) != 25 {
+		t.Fatalf("counts = %d/%d, want 25/25", d.AlarmCount(0), d.AlarmCount(Outlier))
+	}
+	if d.AlarmCount(Shift) != 0 || d.AlarmCount(AlarmKind(9)) != 0 {
+		t.Fatal("kind counts wrong")
+	}
+}
+
+func TestMaxAlarmsUnlimitedByDefault(t *testing.T) {
+	d := New(Options{MinSpread: 0.5})
+	for i := 0; i < 30; i++ {
+		d.Observe(at(i), 10)
+	}
+	for i := 0; i < 500; i++ {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		d.Observe(at(100+i), 10+sign*500)
+	}
+	if len(d.Alarms()) != 500 || d.AlarmCount(0) != 500 {
+		t.Fatalf("unlimited history truncated: %d alarms, count %d", len(d.Alarms()), d.AlarmCount(0))
+	}
+}
+
+func TestMaxAlarmsRingKindCountsAcrossShifts(t *testing.T) {
+	d := New(Options{MinSpread: 0.5, MinRun: 3, MaxAlarms: 4})
+	series := noisy(60, 10, 2, 77)
+	series = append(series, noisy(60, 80, 2, 78)...) // confirmed shift
+	feed(d, series)
+	if d.AlarmCount(Shift) != 1 {
+		t.Fatalf("shift count = %d, want 1 (exact despite 4-alarm ring)", d.AlarmCount(Shift))
+	}
+	if got := d.AlarmCount(0); got != d.AlarmCount(Outlier)+d.AlarmCount(Shift)+d.AlarmCount(TempChange) {
+		t.Fatalf("total %d != sum of kinds", got)
+	}
+	if len(d.Alarms()) > 4 {
+		t.Fatalf("ring exceeded cap: %d", len(d.Alarms()))
+	}
+}
+
+// TestObserveSteadyStateAllocFree pins the hot path: once warm (window
+// populated, alarm ring full, node pool at high water), Observe must
+// not allocate — neither on inliers nor on outlier alarms.
+func TestObserveSteadyStateAllocFree(t *testing.T) {
+	t.Run("inliers", func(t *testing.T) {
+		d := New(Options{MinSpread: 0.5, MaxAlarms: 64})
+		series := noisy(500, 10, 2, 88)
+		for i, v := range series {
+			d.Observe(at(i), v)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(2000, func() {
+			d.Observe(at(1000+i), series[i%len(series)])
+			i++
+		})
+		if allocs != 0 {
+			t.Fatalf("steady-state inlier Observe: %.2f allocs/op, want 0", allocs)
+		}
+	})
+	t.Run("outlier-alarms", func(t *testing.T) {
+		d := New(Options{MinSpread: 0.5, MinRun: 1000, MaxAlarms: 64})
+		for i := 0; i < 200; i++ {
+			d.Observe(at(i), 10)
+		}
+		// Fill the alarm ring so record() stops growing the slice.
+		for i := 0; i < 128; i++ {
+			sign := 1.0
+			if i%2 == 1 {
+				sign = -1
+			}
+			d.Observe(at(500+i), 10+sign*500)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(2000, func() {
+			sign := 1.0
+			if i%2 == 1 {
+				sign = -1
+			}
+			d.Observe(at(5000+i), 10+sign*500)
+			i++
+		})
+		if allocs != 0 {
+			t.Fatalf("steady-state outlier Observe: %.2f allocs/op, want 0", allocs)
+		}
+	})
+}
+
+// TestObserveReturnBufferReused documents the Observe contract: the
+// returned slice is detector-owned and overwritten by the next call.
+func TestObserveReturnBufferReused(t *testing.T) {
+	d := New(Options{MinSpread: 0.5, MinRun: 1000})
+	for i := 0; i < 30; i++ {
+		d.Observe(at(i), 10)
+	}
+	first := d.Observe(at(100), 900)
+	if len(first) != 1 || first[0].Value != 900 {
+		t.Fatalf("first = %+v", first)
+	}
+	second := d.Observe(at(101), -900)
+	if len(second) != 1 || second[0].Value != -900 {
+		t.Fatalf("second = %+v", second)
+	}
+	// Same backing buffer: the first slice now shows the second alarm.
+	if first[0].Value != -900 {
+		t.Fatalf("Observe buffer not reused (first[0].Value = %v) — update the contract docs if this is intentional", first[0].Value)
+	}
+}
