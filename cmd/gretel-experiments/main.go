@@ -10,7 +10,13 @@
 //	gretel-experiments -exp all
 //
 // Experiments: table1, fig5, fig6, fig7a, fig7b, fig7c, fig8a, fig8b,
-// fig8c, hansel, overhead, explain, all.
+// fig8c, hansel, overhead, explain, all. The extra "reanalyze"
+// experiment (never part of "all") replays a write-ahead log captured
+// by `gretel -wal DIR` through a fresh analyzer — re-running Algorithm
+// 2 offline over a recorded incident:
+//
+//	gretel-experiments -exp reanalyze -wal-dir /var/lib/gretel/wal
+//	gretel-experiments -exp reanalyze -wal-dir d -wal-from 1000 -wal-to 2000
 //
 // The explain experiment reruns the Fig. 8a fault scenario with
 // evidence tracing on and, with -out, writes out/explain.txt: one block
@@ -45,6 +51,9 @@ func main() {
 		workers  = flag.Int("detect-workers", 0, "fig8c detection worker pool size (0 = inline detection)")
 		shards   = flag.Int("ingest-shards", 0, "fig8c sharded ingest front-end size (0 = inline ingest)")
 		ingBatch = flag.Int("ingest-batch", 0, "fig8c ingest batch size (0 = default 256 with shards)")
+		walDir   = flag.String("wal-dir", "", "reanalyze: write-ahead log directory captured by gretel -wal")
+		walFrom  = flag.Uint64("wal-from", 0, "reanalyze: first WAL sequence to replay (0 = from the start)")
+		walTo    = flag.Uint64("wal-to", 0, "reanalyze: last WAL sequence to replay (0 = to the end)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -205,8 +214,27 @@ func main() {
 		fmt.Print(experiments.FormatOverhead(res))
 	})
 
+	// reanalyze needs an input log, so it never joins "all": run it only
+	// when named explicitly.
+	if *exp == "reanalyze" {
+		if *walDir == "" {
+			log.Fatal("reanalyze: -wal-dir is required (a directory captured by gretel -wal)")
+		}
+		run("reanalyze", func() {
+			res, err := experiments.Reanalyze(*seed, *walDir, *walFrom, *walTo, core.Config{
+				DetectWorkers: *workers, IngestShards: *shards, IngestBatch: *ingBatch,
+			})
+			if err != nil {
+				log.Fatalf("reanalyze: %v", err)
+			}
+			text := experiments.FormatReanalyze(res)
+			fmt.Print(text)
+			writeText(*outDir, "reanalyze", text)
+		})
+	}
+
 	switch *exp {
-	case "all", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "hansel", "overhead", "explain":
+	case "all", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "hansel", "overhead", "explain", "reanalyze":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -35,6 +35,15 @@
 // agents, synthesize N events from the catalog workload (one injected
 // fault per -fault-every messages) and drive them through the analyzer,
 // then keep the telemetry endpoints up for -linger before exiting.
+//
+// -wal DIR makes ingest durable: every event is appended to a segmented
+// write-ahead log before analysis, and on restart the retained log is
+// replayed through the analyzer before /healthz goes ready (the 503
+// body reports "recovering: wal replay <segment>/<total>" meanwhile).
+// -wal-fsync picks the durability/latency trade (none, interval, every)
+// and -wal-retain bounds the log's disk footprint. Combined with
+// -replay, a killed run resumes exactly where the log ends and its
+// report output is byte-identical to an uninterrupted run.
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gretel/internal/agent"
@@ -57,6 +67,7 @@ import (
 	"gretel/internal/telemetry"
 	"gretel/internal/tempest"
 	"gretel/internal/tracestore"
+	"gretel/internal/wal"
 )
 
 func main() {
@@ -81,10 +92,14 @@ func main() {
 		traceCap   = flag.Int("trace-store-cap", tracestore.DefaultCap, "max evidence traces held in memory (oldest evicted first, evictions counted)")
 		replayN    = flag.Int("replay", 0, "self-test mode: synthesize this many catalog-workload events and drive them instead of listening for agents")
 		faultEvery = flag.Int("fault-every", 1000, "with -replay, inject one fault per this many messages")
+		replayPace = flag.Duration("replay-pace", 0, "with -replay, sleep this long per 1000 events (crash smokes use it to land a kill mid-burst)")
 		linger     = flag.Duration("linger", 0, "with -replay, keep telemetry endpoints serving this long after the run")
+		walDir     = flag.String("wal", "", "write-ahead log directory: capture every ingested event durably and replay the unprocessed suffix on restart (empty disables)")
+		walFsync   = flag.String("wal-fsync", "interval", "WAL fsync policy: none (OS flush only), interval (bounded loss window), every (fsync per append)")
+		walRetain  = flag.Int64("wal-retain", 1<<30, "WAL retention budget in bytes; closed segments beyond it are dropped oldest-first (negative retains everything)")
 	)
 	flag.Parse()
-	if err := validateFlags(*backlog, *traceCap, *shards, *ingBatch); err != nil {
+	if err := validateFlags(*backlog, *traceCap, *shards, *ingBatch, *walFsync); err != nil {
 		fmt.Fprintf(os.Stderr, "gretel: %v\n", err)
 		os.Exit(2)
 	}
@@ -146,23 +161,79 @@ func main() {
 	} else {
 		analyzer.SetRCA(engine.Hook())
 	}
+	// bootQuiet suppresses report emission while boot-time WAL replay
+	// walks history the previous process already reported (at or below
+	// the durable cursor). Report emission across a crash boundary is
+	// at-least-once — the WAL itself is exactly-once.
+	var bootQuiet atomic.Bool
+	var emit func(*core.Report)
 	if !*quiet {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
-			analyzer.OnReport(func(rep *core.Report) {
+			emit = func(rep *core.Report) {
 				if err := enc.Encode(rep); err != nil {
 					log.Printf("encoding report: %v", err)
 				}
-			})
+			}
 		} else {
-			analyzer.OnReport(printReport)
+			emit = printReport
 		}
+		analyzer.OnReport(func(rep *core.Report) {
+			if bootQuiet.Load() {
+				return
+			}
+			emit(rep)
+		})
+	}
+
+	// Boot-time WAL recovery: replay the retained log through the
+	// analyzer before going ready, so a crashed analyzer restarts with
+	// the exact evidence state it died with. /healthz serves replay
+	// progress as the 503 body until the suffix is in.
+	var wlog *wal.Log
+	var walSkip int
+	if *walDir != "" {
+		fsyncPolicy, _ := wal.ParseFsync(*walFsync) // validated above
+		cursor := wal.LoadCursor(*walDir)
+		if *replayN > 0 {
+			// Self-test mode rebuilds and reprints the full deterministic
+			// run: its output must be byte-identical to an uninterrupted
+			// process, crash or no crash.
+			cursor = 0
+		}
+		bootQuiet.Store(cursor > 0)
+		telemetry.SetNotReadyReason("recovering: wal replay starting")
+		walRes, err := replay.DriveWAL(analyzer, *walDir, 0, 0, func(seg, total int, seq uint64) {
+			telemetry.SetNotReadyReason(fmt.Sprintf("recovering: wal replay %d/%d", seg, total))
+			if cursor > 0 && seq >= cursor {
+				bootQuiet.Store(false)
+			}
+		})
+		if err != nil {
+			log.Fatalf("wal recovery: %v", err)
+		}
+		bootQuiet.Store(false)
+		if walRes.Events > 0 || walRes.Recovery.Quarantined > 0 {
+			log.Printf("wal: recovered %d events from %d segments (%d quarantined, %d bytes skipped) in %v",
+				walRes.Events, walRes.Recovery.Segments, walRes.Recovery.Quarantined,
+				walRes.Recovery.BytesSkipped, walRes.Wall.Round(time.Millisecond))
+		}
+		if walRes.Recovery.FirstSeq > 1 {
+			log.Printf("wal: retention dropped records 1..%d; rebuilt state starts mid-history", walRes.Recovery.FirstSeq-1)
+		}
+		walSkip = int(walRes.Recovery.LastSeq)
+		wlog, err = wal.Open(wal.Options{Dir: *walDir, Fsync: fsyncPolicy, RetainBytes: *walRetain})
+		if err != nil {
+			log.Fatalf("wal: %v", err)
+		}
+		defer wlog.Close()
+		analyzer.SetCapture(wlog)
 	}
 
 	var res replay.Result
 	start := time.Now()
-	// Analyzer constructed and hooks installed: the loop below is live.
-	// /healthz on the telemetry address flips to 200 from here on.
+	// Analyzer constructed, hooks installed, WAL replayed: the loop below
+	// is live. /healthz on the telemetry address flips to 200 from here on.
 	telemetry.SetReady(true)
 	defer telemetry.SetReady(false)
 	if *replayN > 0 {
@@ -179,9 +250,14 @@ func main() {
 			Ops: ops, Concurrency: 400, Events: *replayN,
 			FaultEvery: *faultEvery, Seed: *seed,
 		})
-		log.Printf("replaying %d synthesized events (one fault per %d, alpha=%d)",
-			len(events), *faultEvery, analyzer.Config().Alpha)
-		res = replay.Drive(analyzer, events)
+		if walSkip > 0 {
+			log.Printf("replaying %d synthesized events (one fault per %d, alpha=%d; resuming after %d from wal)",
+				len(events), *faultEvery, analyzer.Config().Alpha, walSkip)
+		} else {
+			log.Printf("replaying %d synthesized events (one fault per %d, alpha=%d)",
+				len(events), *faultEvery, analyzer.Config().Alpha)
+		}
+		res = replay.DriveFrom(analyzer, events, walSkip, *replayPace)
 	} else {
 		recv, err := agent.ListenConfig(agent.ReceiverConfig{Addr: *listen, DownAfter: *downAfter})
 		if err != nil {
@@ -225,6 +301,11 @@ func main() {
 		fmt.Printf("traces:    %d evidence traces stored, %d evicted (cap %d, live %d)\n",
 			res.TracesStored, res.TracesEvicted, traces.Cap(), traces.Len())
 	}
+	if wlog != nil {
+		ws := wlog.Stats()
+		fmt.Printf("wal:       %d records appended across %d segments (%d B, %d rotations, %d retired, cursor %d)\n",
+			ws.Appended, ws.Segments, ws.Bytes, ws.Rotated, ws.Retired, wlog.Cursor())
+	}
 	if wm := telemetry.GetHistogram("core.window_match").Stats(); wm.Count > 0 {
 		fmt.Printf("detect:    window-match p50=%.2fms p99=%.2fms max=%.2fms over %d snapshots\n",
 			wm.P50Ms, wm.P99Ms, wm.MaxMs, wm.Count)
@@ -258,7 +339,7 @@ func main() {
 // Negative values would silently flip internal sentinels (GOMAXPROCS
 // sizing, "cap disabled") a CLI user has no reason to request — fail
 // loudly with exit 2 instead.
-func validateFlags(detectBacklog, traceStoreCap, ingestShards, ingestBatch int) error {
+func validateFlags(detectBacklog, traceStoreCap, ingestShards, ingestBatch int, walFsync string) error {
 	switch {
 	case detectBacklog < 0:
 		return fmt.Errorf("-detect-backlog must be >= 0, got %d (0 means 4x workers)", detectBacklog)
@@ -268,6 +349,9 @@ func validateFlags(detectBacklog, traceStoreCap, ingestShards, ingestBatch int) 
 		return fmt.Errorf("-ingest-shards must be >= 0, got %d (0 means classic inline ingest)", ingestShards)
 	case ingestBatch < 0:
 		return fmt.Errorf("-ingest-batch must be >= 0, got %d (0 means the default batch size)", ingestBatch)
+	}
+	if _, err := wal.ParseFsync(walFsync); err != nil {
+		return fmt.Errorf("-wal-fsync: %w", err)
 	}
 	return nil
 }

@@ -9,17 +9,20 @@ func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		name                                string
 		backlog, traceCap, shards, ingBatch int
+		walFsync                            string
 		wantErr                             string // substring; empty = valid
 	}{
-		{"all-zero-defaults", 0, 0, 0, 0, ""},
-		{"all-positive", 8, 1024, 4, 256, ""},
-		{"negative-backlog", -1, 0, 0, 0, "-detect-backlog"},
-		{"negative-trace-cap", 0, -5, 0, 0, "-trace-store-cap"},
-		{"negative-shards", 0, 0, -2, 0, "-ingest-shards"},
-		{"negative-batch", 0, 0, 4, -1, "-ingest-batch"},
+		{"all-zero-defaults", 0, 0, 0, 0, "interval", ""},
+		{"all-positive", 8, 1024, 4, 256, "every", ""},
+		{"fsync-none", 0, 0, 0, 0, "none", ""},
+		{"negative-backlog", -1, 0, 0, 0, "interval", "-detect-backlog"},
+		{"negative-trace-cap", 0, -5, 0, 0, "interval", "-trace-store-cap"},
+		{"negative-shards", 0, 0, -2, 0, "interval", "-ingest-shards"},
+		{"negative-batch", 0, 0, 4, -1, "interval", "-ingest-batch"},
+		{"bad-fsync", 0, 0, 0, 0, "sometimes", "-wal-fsync"},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.backlog, c.traceCap, c.shards, c.ingBatch)
+		err := validateFlags(c.backlog, c.traceCap, c.shards, c.ingBatch, c.walFsync)
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error: %v", c.name, err)

@@ -486,6 +486,8 @@ func TestSenderAutoReconnectReplays(t *testing.T) {
 
 	reconnects := telemetry.GetCounter("transport.reconnects")
 	recBefore := reconnects.Value()
+	replayed := telemetry.GetCounter("transport.frames_replayed")
+	repBefore := replayed.Value()
 
 	cfg := fastSender(ln.Addr().String(), "replayer")
 	cfg.Heartbeat = -1 // quiet stream: only payload frames
@@ -530,6 +532,13 @@ func TestSenderAutoReconnectReplays(t *testing.T) {
 	}
 	if got := reconnects.Value(); got <= recBefore {
 		t.Fatalf("reconnects = %d, want > %d", got, recBefore)
+	}
+	// The redial replayed the ring suffix the dead conn never acked:
+	// at least the 10 pre-disconnect events went over the wire twice,
+	// and every replay is counted.
+	if got := replayed.Value(); got < repBefore+10 {
+		t.Fatalf("transport.frames_replayed = %d, want >= %d (10 ring frames replayed on reconnect)",
+			got, repBefore+10)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("close: %v", err)

@@ -8,6 +8,7 @@ package benchrunner
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"gretel/internal/agent"
@@ -20,6 +21,7 @@ import (
 	"gretel/internal/trace"
 	"gretel/internal/tracestore"
 	"gretel/internal/tsoutliers"
+	"gretel/internal/wal"
 )
 
 func init() {
@@ -40,6 +42,9 @@ func init() {
 	})
 	Register("detector", func() Scenario {
 		return &detectorScenario{desc: "steady-state level-shift detector Observe cost (incremental order statistics) across window sizes"}
+	})
+	Register("wal-append", func() Scenario {
+		return &walScenario{desc: "write-ahead log append cost on the canonical fault-free stream, fsync none vs interval"}
 	})
 }
 
@@ -327,6 +332,74 @@ func (s *detectorScenario) Cases() []Case {
 		}}
 	}
 	return []Case{mk(60), mk(240), mk(960)}
+}
+
+// --- wal-append: durable capture cost per event ---
+
+type walScenario struct {
+	desc   string
+	stream []trace.Event
+}
+
+func (s *walScenario) Name() string        { return "wal-append" }
+func (s *walScenario) Description() string { return s.desc }
+func (s *walScenario) Teardown() error     { s.stream = nil; return nil }
+
+func (s *walScenario) Setup(opts Options) error {
+	events := 50000
+	if opts.Short {
+		events = 20000
+	}
+	s.stream = experiments.CleanBenchStream(events)
+	return nil
+}
+
+// Cases measure the two fsync policies a deployment actually chooses
+// between: none (flush to the OS per batch, fsync only on rotation)
+// and interval (a bounded loss window). "every" is deliberately not
+// benchmarked — one fsync per append is disk-bound, not a pipeline
+// cost, and would swamp the gate tolerance with device noise. Each run
+// appends the canonical stream in ingest-sized batches through a
+// fresh log in a throwaway directory.
+func (s *walScenario) Cases() []Case {
+	mk := func(name string, policy wal.Fsync) Case {
+		return Case{Name: name, Run: func() (Metrics, error) {
+			dir, err := os.MkdirTemp("", "gretel-bench-wal-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			l, err := wal.Open(wal.Options{Dir: dir, Fsync: policy})
+			if err != nil {
+				return nil, err
+			}
+			const batch = 256
+			for i := 0; i < len(s.stream); i += batch {
+				end := i + batch
+				if end > len(s.stream) {
+					end = len(s.stream)
+				}
+				if _, err := l.AppendBatch(s.stream[i:end]); err != nil {
+					l.Close()
+					return nil, err
+				}
+			}
+			st := l.Stats()
+			if err := l.Close(); err != nil {
+				return nil, err
+			}
+			if st.Appended != uint64(len(s.stream)) {
+				return nil, fmt.Errorf("appended %d of %d events", st.Appended, len(s.stream))
+			}
+			return Metrics{
+				EventsPerOp: float64(len(s.stream)),
+				"B/event":   float64(st.Bytes) / float64(len(s.stream)),
+				"segments":  float64(st.Segments),
+				"syncs":     float64(st.Synced),
+			}, nil
+		}}
+	}
+	return []Case{mk("fsync=none", wal.FsyncNone), mk("fsync=interval", wal.FsyncInterval)}
 }
 
 // --- table1-learning: the full offline characterization pass ---

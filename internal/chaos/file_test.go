@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestWriterKillPoint(t *testing.T) {
+	var sink bytes.Buffer
+	w := WrapWriter(&sink, WriterConfig{Seed: 1, KillAfterBytes: 10})
+
+	if n, err := w.Write(make([]byte, 6)); n != 6 || err != nil {
+		t.Fatalf("pre-kill write: n=%d err=%v", n, err)
+	}
+	// This write crosses byte 10: 4 bytes land, the rest vanish.
+	if _, err := w.Write(make([]byte, 6)); !errors.Is(err, ErrKilled) {
+		t.Fatalf("kill write: err=%v, want ErrKilled", err)
+	}
+	if sink.Len() != 10 {
+		t.Fatalf("torn write landed %d bytes, want exactly the 10-byte prefix", sink.Len())
+	}
+	if !w.Killed() {
+		t.Fatalf("writer not marked killed")
+	}
+	// Dead means dead: later writes leave no ink.
+	if _, err := w.Write([]byte("zombie")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill write: err=%v", err)
+	}
+	if sink.Len() != 10 {
+		t.Fatalf("post-kill write leaked %d bytes", sink.Len()-10)
+	}
+	if st := w.Stats(); st.Kills != 1 || st.BytesOut != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriterKillAtExactBoundary(t *testing.T) {
+	var sink bytes.Buffer
+	w := WrapWriter(&sink, WriterConfig{Seed: 1, KillAfterBytes: 8})
+	w.Write(make([]byte, 8)) // lands exactly at the kill point: clean
+	if _, err := w.Write(make([]byte, 4)); !errors.Is(err, ErrKilled) {
+		t.Fatalf("boundary kill: err=%v", err)
+	}
+	if sink.Len() != 8 {
+		t.Fatalf("boundary kill left %d bytes, want 8 (no partial record)", sink.Len())
+	}
+}
+
+func TestWriterShortWrites(t *testing.T) {
+	var sink bytes.Buffer
+	w := WrapWriter(&sink, WriterConfig{Seed: 7, ShortWrite: 1})
+	n, err := w.Write(make([]byte, 100))
+	if err != io.ErrShortWrite {
+		t.Fatalf("err=%v, want io.ErrShortWrite", err)
+	}
+	if n <= 0 || n >= 100 || sink.Len() != n {
+		t.Fatalf("short write landed %d bytes (reported %d)", sink.Len(), n)
+	}
+	if w.Stats().Shorts != 1 {
+		t.Fatalf("stats %+v", w.Stats())
+	}
+}
+
+func TestWriterCorrupt(t *testing.T) {
+	var sink bytes.Buffer
+	w := WrapWriter(&sink, WriterConfig{Seed: 3, Corrupt: 1})
+	src := bytes.Repeat([]byte{0xAA}, 64)
+	orig := append([]byte(nil), src...)
+	if n, err := w.Write(src); n != 64 || err != nil {
+		t.Fatalf("corrupt write: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(src, orig) {
+		t.Fatalf("caller's buffer was mangled")
+	}
+	diff := 0
+	for i, b := range sink.Bytes() {
+		if b != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestWriterDeterministic(t *testing.T) {
+	run := func() []byte {
+		var sink bytes.Buffer
+		w := WrapWriter(&sink, WriterConfig{Seed: 99, ShortWrite: 0.3, Corrupt: 0.3})
+		for i := 0; i < 50; i++ {
+			w.Write(bytes.Repeat([]byte{byte(i)}, 32))
+		}
+		return sink.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatalf("same seed produced different fault schedules")
+	}
+}

@@ -305,6 +305,7 @@ type Stats struct {
 	NodeGaps      uint64 // monitoring-plane gap/down records applied (NodeGap)
 	FramesMissed  uint64 // frames the transport reported lost across all gaps
 	PairsFlushed  uint64 // pairing-state entries flushed by NodeGap
+	CaptureErrors uint64 // durable-capture appends that failed (events processed uncaptured)
 	Reports       uint64
 	FalseNegs     uint64 // faults whose API had no fingerprint candidates
 	MatchedTotal  uint64 // sum of candidate-set sizes across reports
@@ -367,6 +368,15 @@ type Analyzer struct {
 	pairIdx   [][]int32
 	latIdx    [][]int32
 	one       [1]trace.Event
+
+	// Durable event plane (capture.go); capture is nil unless SetCapture
+	// attached a WAL. capturing guards the Ingest⇄IngestBatch routing so
+	// each event is appended exactly once; captureLast is the record
+	// sequence the cursor advances to when the call completes.
+	capture     Capture
+	capturing   bool
+	captureLast uint64
+	capOne      [1]trace.Event
 }
 
 // New builds an analyzer over a learned fingerprint library. When
@@ -416,6 +426,12 @@ func (a *Analyzer) Reports() []*Report { return a.reports }
 // through a single-event batch so pairing state stays coherent with
 // batched callers; high-rate drivers should call IngestBatch instead.
 func (a *Analyzer) Ingest(ev trace.Event) {
+	if a.capture != nil && !a.capturing {
+		a.capturing = true
+		defer a.endCapture()
+		a.capOne[0] = ev
+		a.captureEvents(a.capOne[:])
+	}
 	if a.shards != nil && !a.shardsOff {
 		a.one[0] = ev
 		a.IngestBatch(a.one[:])

@@ -1,0 +1,55 @@
+// Durable event-plane hook: every event entering the analyzer can be
+// handed to a write-ahead capture (implemented by wal.Log) before any
+// analyzer state mutates, so a crash never loses evidence the process
+// had already accepted. The hook is deliberately an interface — core
+// stays free of storage dependencies, and tests capture with fakes.
+
+package core
+
+import (
+	"gretel/internal/telemetry"
+	"gretel/internal/trace"
+)
+
+// mCaptureErrors counts appends the durable event plane failed to ack;
+// the events were still processed, just not captured.
+var mCaptureErrors = telemetry.GetCounter("core.capture_errors")
+
+// Capture is the durable event plane attached with SetCapture.
+// AppendBatch must make evs durable (per its own policy) and return the
+// record sequence of the last event acked; MarkProcessed is called once
+// every record at or below seq has been fully processed, advancing the
+// consumer cursor a restart resumes from.
+type Capture interface {
+	AppendBatch(evs []trace.Event) (lastSeq uint64, err error)
+	MarkProcessed(seq uint64)
+}
+
+// SetCapture attaches (or with nil detaches) the durable event plane.
+// Call from the ingest goroutine, like Ingest — typically once before
+// driving events. Boot-time WAL replay runs with capture detached so
+// recovered events are not appended a second time.
+func (a *Analyzer) SetCapture(c Capture) { a.capture = c }
+
+// captureEvents hands a batch to the capture hook. Append failure is
+// counted and logged but never stops ingest: the analyzer exists to
+// observe faults, and a full disk must not blind it.
+func (a *Analyzer) captureEvents(evs []trace.Event) {
+	last, err := a.capture.AppendBatch(evs)
+	a.captureLast = last
+	if err != nil {
+		a.Stats.CaptureErrors++
+		mCaptureErrors.Inc()
+		telemetry.LogFirst("core.capture", "core: durable capture failed (ingest continues uncaptured): %v", err)
+	}
+}
+
+// endCapture closes out one top-level ingest call: the events captured
+// at its start are now fully processed, so the consumer cursor may
+// advance to their last record.
+func (a *Analyzer) endCapture() {
+	a.capturing = false
+	if a.capture != nil && a.captureLast > 0 {
+		a.capture.MarkProcessed(a.captureLast)
+	}
+}

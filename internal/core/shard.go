@@ -243,6 +243,11 @@ func (a *Analyzer) IngestBatch(evs []trace.Event) {
 	if len(evs) == 0 {
 		return
 	}
+	if a.capture != nil && !a.capturing {
+		a.capturing = true
+		defer a.endCapture()
+		a.captureEvents(evs)
+	}
 	if a.shards == nil || a.shardsOff {
 		for _, ev := range evs {
 			a.Ingest(ev)

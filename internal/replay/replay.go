@@ -207,7 +207,33 @@ func (r *Result) explainCounters(a *core.Analyzer) {
 // drains the pipeline before the wall clock stops, so the measured
 // throughput includes finishing every report.
 func Drive(a *core.Analyzer, events []trace.Event) Result {
+	return DriveFrom(a, events, 0, 0)
+}
+
+// DriveFrom is Drive with a resume offset and optional pacing: events
+// before skip are treated as already ingested (a restarted gretel
+// replays them from the WAL, then resumes the synthesized stream
+// here), and when pace > 0 the driver sleeps that long per 1000 events
+// — the crash-recovery smoke uses pacing to guarantee a kill -9 lands
+// mid-burst. Closes the analyzer like Drive.
+func DriveFrom(a *core.Analyzer, events []trace.Event, skip int, pace time.Duration) Result {
+	if skip > len(events) {
+		skip = len(events)
+	}
+	events = events[skip:]
 	start := time.Now()
+	paceEvery := 1000
+	sincePace := 0
+	step := func(n int) {
+		if pace <= 0 {
+			return
+		}
+		sincePace += n
+		for sincePace >= paceEvery {
+			sincePace -= paceEvery
+			time.Sleep(pace)
+		}
+	}
 	if batch := a.Config().IngestBatch; a.Config().IngestShards > 0 && batch > 0 {
 		for lo := 0; lo < len(events); lo += batch {
 			hi := lo + batch
@@ -215,10 +241,12 @@ func Drive(a *core.Analyzer, events []trace.Event) Result {
 				hi = len(events)
 			}
 			a.IngestBatch(events[lo:hi])
+			step(hi - lo)
 		}
 	} else {
 		for i := range events {
 			a.Ingest(events[i])
+			step(1)
 		}
 	}
 	a.Close()

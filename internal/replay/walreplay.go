@@ -1,0 +1,98 @@
+// WAL replay: feed the durable event log back through the analyzer.
+// Two callers share this path — gretel's boot-time crash recovery
+// (replay the retained log, then go live on the same analyzer) and
+// gretel-experiments' offline reanalysis ("reanalyze yesterday's
+// incident with today's fingerprints").
+
+package replay
+
+import (
+	"io"
+	"time"
+
+	"gretel/internal/core"
+	"gretel/internal/trace"
+	"gretel/internal/wal"
+)
+
+// WALResult is DriveWAL's summary: the usual replay accounting plus the
+// recovery scan's quarantine bookkeeping.
+type WALResult struct {
+	Result
+	Recovery wal.ReadStats
+}
+
+// DriveWAL replays the write-ahead log at dir through the analyzer.
+// Records with sequence in [from, to] (0 = open bound) are fed through
+// IngestBatch in the analyzer's configured batch size (default 256);
+// corrupt or torn records are quarantined by the reader, never fatal.
+// onBatch, when non-nil, is called after each batch with scan progress
+// (1-based current segment, total segments, last record sequence fed)
+// — gretel's readiness endpoint serves it during boot recovery.
+//
+// The analyzer is NOT flushed or closed: boot recovery continues
+// driving live events on the same analyzer (flushing here would tear
+// windows mid-stream and diverge from an uninterrupted run), and
+// offline reanalysis closes it when done. Reports in the result count
+// only what had been produced when the scan finished.
+func DriveWAL(a *core.Analyzer, dir string, from, to uint64, onBatch func(segment, total int, lastSeq uint64)) (WALResult, error) {
+	r, err := wal.OpenReader(dir)
+	if err != nil {
+		return WALResult{}, err
+	}
+	defer r.Close()
+
+	batchSize := a.Config().IngestBatch
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	batch := make([]trace.Event, 0, batchSize)
+
+	start := time.Now()
+	var res WALResult
+	var lastSeq uint64
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		a.IngestBatch(batch)
+		res.Events += len(batch)
+		batch = batch[:0]
+		if onBatch != nil {
+			seg, total := r.Progress()
+			onBatch(seg, total, lastSeq)
+		}
+	}
+	for {
+		seq, ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		if from > 0 && seq < from {
+			continue
+		}
+		if to > 0 && seq > to {
+			break
+		}
+		lastSeq = seq
+		res.Bytes += uint64(ev.WireBytes)
+		batch = append(batch, ev)
+		if len(batch) >= batchSize {
+			flush()
+		}
+	}
+	flush()
+	res.Wall = time.Since(start)
+	if res.Wall > 0 {
+		res.EventsPerSec = float64(res.Events) / res.Wall.Seconds()
+		res.Mbps = float64(res.Bytes) * 8 / 1e6 / res.Wall.Seconds()
+	}
+	res.Reports = len(a.Reports())
+	res.SnapshotsShed = a.Stats.SnapshotsShed
+	r.Close() // finalizes torn-tail attribution before the stats snapshot
+	res.Recovery = r.Stats()
+	return res, nil
+}

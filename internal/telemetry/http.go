@@ -78,21 +78,42 @@ func (r *Registry) Handler() http.Handler {
 // sleeping an arbitrary grace period.
 var ready atomic.Bool
 
-// SetReady flips the process readiness bit served by /healthz.
-func SetReady(ok bool) { ready.Store(ok) }
+// notReadyReason, when non-empty, replaces the generic "starting" body
+// while the readiness bit is down — e.g. "recovering: wal replay 3/12"
+// during boot-time WAL recovery, so a poller can tell a long replay
+// from a hung process.
+var notReadyReason atomic.Value // string
+
+// SetReady flips the process readiness bit served by /healthz. Going
+// ready clears any not-ready reason.
+func SetReady(ok bool) {
+	ready.Store(ok)
+	if ok {
+		notReadyReason.Store("")
+	}
+}
+
+// SetNotReadyReason records why the process is not ready yet; /healthz
+// serves it as the 503 body until SetReady(true). Call it freely while
+// booting (e.g. per replayed WAL segment) — it is just an atomic store.
+func SetNotReadyReason(reason string) { notReadyReason.Store(reason) }
 
 // Ready reports the current readiness bit.
 func Ready() bool { return ready.Load() }
 
 // healthz answers 200 "ok" once SetReady(true) has been called and
-// 503 "starting" before (and after SetReady(false), e.g. during
-// drain). The body is flat text like /metrics; ?format=json wraps the
-// same answer for machine consumers.
+// 503 before (and after SetReady(false), e.g. during drain) — with the
+// SetNotReadyReason detail when one is set, "starting" otherwise. The
+// body is flat text like /metrics; ?format=json wraps the same answer
+// for machine consumers.
 func healthz(w http.ResponseWriter, req *http.Request) {
 	ok := ready.Load()
 	status, body := http.StatusOK, "ok"
 	if !ok {
 		status, body = http.StatusServiceUnavailable, "starting"
+		if r, _ := notReadyReason.Load().(string); r != "" {
+			body = r
+		}
 	}
 	if req.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")

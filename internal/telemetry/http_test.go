@@ -172,3 +172,34 @@ func TestHealthzReadiness(t *testing.T) {
 		t.Fatalf("healthz json = %+v", parsed)
 	}
 }
+
+func TestHealthzNotReadyReason(t *testing.T) {
+	mux := NewMux(newPopulatedRegistry())
+	get := func(path string) (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	SetReady(false)
+	SetNotReadyReason("recovering: wal replay 3/12")
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "recovering: wal replay 3/12") {
+		t.Fatalf("reason not served: code=%d body=%q", code, body)
+	}
+	// The reason flows into the JSON answer too.
+	if _, body := get("/healthz?format=json"); !strings.Contains(body, "wal replay 3/12") {
+		t.Fatalf("json body missing reason: %q", body)
+	}
+	// Going ready clears the reason: a later drain shows plain "starting".
+	SetReady(true)
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("ready after reason: code=%d body=%q", code, body)
+	}
+	SetReady(false)
+	defer SetReady(false)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("reason leaked past SetReady(true): code=%d body=%q", code, body)
+	}
+}

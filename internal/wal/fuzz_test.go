@@ -1,0 +1,144 @@
+package wal
+
+import (
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gretel/internal/trace"
+)
+
+// FuzzSegmentRecovery throws arbitrary bytes at the recovery reader as
+// a segment file. The reader's contract under any input: never panic,
+// never loop, never return a record whose CRC did not pass, and keep
+// the accounting coherent (every byte is either part of a returned
+// record or counted as skipped).
+func FuzzSegmentRecovery(f *testing.F) {
+	// Seed corpus: a healthy segment, truncations, and spliced garbage.
+	var healthy []byte
+	for i := 1; i <= 4; i++ {
+		body, _ := json.Marshal(&trace.Event{Seq: uint64(i), ConnID: uint64(i), Status: 200})
+		healthy = encodeRecord(healthy, uint64(i), body)
+	}
+	f.Add(healthy)
+	f.Add(healthy[:len(healthy)-7])
+	f.Add(append([]byte{recMagic0, recMagic1, recKind, 0xff}, healthy...))
+	f.Add([]byte{})
+	f.Add([]byte{recMagic0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenReader(dir)
+		if err != nil {
+			t.Fatalf("OpenReader: %v", err)
+		}
+		defer r.Close()
+
+		var n uint64
+		lastSeq := uint64(0)
+		for {
+			seq, _, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("Next returned non-EOF error: %v", err)
+			}
+			n++
+			if n > uint64(len(data)) {
+				t.Fatalf("more records than input bytes: the scan is not advancing")
+			}
+			if seq <= lastSeq {
+				t.Fatalf("records out of order: %d after %d", seq, lastSeq)
+			}
+			lastSeq = seq
+		}
+		stats := r.Stats()
+		if stats.Records != n {
+			t.Fatalf("stats.Records=%d but Next returned %d", stats.Records, n)
+		}
+		if stats.BytesSkipped > uint64(len(data)) {
+			t.Fatalf("skipped %d bytes of a %d-byte input", stats.BytesSkipped, len(data))
+		}
+	})
+}
+
+// FuzzRecordCRC cross-checks the reader against a brute-force scan:
+// any record the reader returns must correspond to a byte range whose
+// stored CRC verifies. Mutating one byte of a healthy segment must
+// never yield more intact records than were written.
+func FuzzRecordCRC(f *testing.F) {
+	var healthy []byte
+	for i := 1; i <= 3; i++ {
+		body, _ := json.Marshal(&trace.Event{Seq: uint64(i), ConnID: uint64(i)})
+		healthy = encodeRecord(healthy, uint64(i), body)
+	}
+	f.Add(uint16(0), byte(0xff))
+	f.Add(uint16(20), byte(0x01))
+	f.Fuzz(func(t *testing.T, pos uint16, flip byte) {
+		data := append([]byte(nil), healthy...)
+		if flip != 0 {
+			data[int(pos)%len(data)] ^= flip
+		}
+		dir := t.TempDir()
+		os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644)
+		r, err := OpenReader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		var n int
+		for {
+			seq, _, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Re-verify the returned record against the raw bytes: its
+			// encoded form must exist in data with a passing CRC.
+			if !recordVerifies(data, seq) {
+				t.Fatalf("reader returned seq %d with no CRC-valid encoding in the input", seq)
+			}
+			n++
+		}
+		if n > 3 {
+			t.Fatalf("one byte flip produced %d records from 3", n)
+		}
+	})
+}
+
+// recordVerifies brute-force scans data for a CRC-valid record with the
+// given sequence — the fuzz oracle, independent of the reader's logic.
+func recordVerifies(data []byte, seq uint64) bool {
+	for i := 0; i+recHdrLen <= len(data); i++ {
+		if data[i] != recMagic0 || data[i+1] != recMagic1 || data[i+2] != recKind {
+			continue
+		}
+		var s uint64
+		for _, b := range data[i+3 : i+11] {
+			s = s<<8 | uint64(b)
+		}
+		if s != seq {
+			continue
+		}
+		n := int(uint32(data[i+11])<<24 | uint32(data[i+12])<<16 | uint32(data[i+13])<<8 | uint32(data[i+14]))
+		if i+recHdrLen+n > len(data) {
+			continue
+		}
+		want := uint32(data[i+15])<<24 | uint32(data[i+16])<<16 | uint32(data[i+17])<<8 | uint32(data[i+18])
+		crc := crc32.ChecksumIEEE(data[i+2 : i+15])
+		crc = crc32.Update(crc, crc32.IEEETable, data[i+recHdrLen:i+recHdrLen+n])
+		if crc == want {
+			return true
+		}
+	}
+	return false
+}
