@@ -203,11 +203,16 @@ func main() {
 		}
 		bootQuiet.Store(cursor > 0)
 		telemetry.SetNotReadyReason("recovering: wal replay starting")
-		walRes, err := replay.DriveWAL(analyzer, *walDir, 0, 0, func(seg, total int, seq uint64) {
-			telemetry.SetNotReadyReason(fmt.Sprintf("recovering: wal replay %d/%d", seg, total))
-			if cursor > 0 && seq >= cursor {
-				bootQuiet.Store(false)
-			}
+		walRes, err := replay.DriveWAL(analyzer, *walDir, replay.WALDrive{
+			// The barrier flushes everything at or below the cursor
+			// through the analyzer before lifting suppression, so a
+			// report triggered by the first unprocessed record is never
+			// swallowed mid-batch.
+			Barrier:   cursor,
+			OnBarrier: func() { bootQuiet.Store(false) },
+			OnBatch: func(seg, total int, seq uint64) {
+				telemetry.SetNotReadyReason(fmt.Sprintf("recovering: wal replay %d/%d", seg, total))
+			},
 		})
 		if err != nil {
 			log.Fatalf("wal recovery: %v", err)

@@ -34,7 +34,7 @@ func Reanalyze(seed int64, dir string, from, to uint64, cfg core.Config) (Reanal
 	a := core.New(lib, cfg)
 	var out ReanalyzeResult
 	a.OnReport(func(r *core.Report) { out.Reports = append(out.Reports, r) })
-	res, err := replay.DriveWAL(a, dir, from, to, nil)
+	res, err := replay.DriveWAL(a, dir, replay.WALDrive{From: from, To: to})
 	if err != nil {
 		return out, err
 	}

@@ -22,20 +22,39 @@ type WALResult struct {
 	Recovery wal.ReadStats
 }
 
+// WALDrive tunes one DriveWAL pass.
+type WALDrive struct {
+	// From and To bound the record sequences fed through the analyzer
+	// (inclusive; 0 = open bound).
+	From, To uint64
+	// Barrier splits the replay at a record sequence: before the first
+	// record with sequence > Barrier is ingested, the pending batch is
+	// flushed through the analyzer and OnBarrier (if set) is invoked.
+	// Boot recovery sets it to the durable consumer cursor so report
+	// suppression is lifted exactly at the already-reported/unreported
+	// boundary — never mid-batch, which would silently drop reports for
+	// records past the cursor. 0 means no barrier.
+	Barrier   uint64
+	OnBarrier func()
+	// OnBatch, when non-nil, is called after each ingested batch with
+	// scan progress (1-based current segment, total segments, last
+	// record sequence fed) — gretel's readiness endpoint serves it
+	// during boot recovery.
+	OnBatch func(segment, total int, lastSeq uint64)
+}
+
 // DriveWAL replays the write-ahead log at dir through the analyzer.
-// Records with sequence in [from, to] (0 = open bound) are fed through
-// IngestBatch in the analyzer's configured batch size (default 256);
-// corrupt or torn records are quarantined by the reader, never fatal.
-// onBatch, when non-nil, is called after each batch with scan progress
-// (1-based current segment, total segments, last record sequence fed)
-// — gretel's readiness endpoint serves it during boot recovery.
+// Records with sequence in [opt.From, opt.To] (0 = open bound) are fed
+// through IngestBatch in the analyzer's configured batch size (default
+// 256); corrupt or torn records are quarantined by the reader, never
+// fatal.
 //
 // The analyzer is NOT flushed or closed: boot recovery continues
 // driving live events on the same analyzer (flushing here would tear
 // windows mid-stream and diverge from an uninterrupted run), and
 // offline reanalysis closes it when done. Reports in the result count
 // only what had been produced when the scan finished.
-func DriveWAL(a *core.Analyzer, dir string, from, to uint64, onBatch func(segment, total int, lastSeq uint64)) (WALResult, error) {
+func DriveWAL(a *core.Analyzer, dir string, opt WALDrive) (WALResult, error) {
 	r, err := wal.OpenReader(dir)
 	if err != nil {
 		return WALResult{}, err
@@ -58,11 +77,12 @@ func DriveWAL(a *core.Analyzer, dir string, from, to uint64, onBatch func(segmen
 		a.IngestBatch(batch)
 		res.Events += len(batch)
 		batch = batch[:0]
-		if onBatch != nil {
+		if opt.OnBatch != nil {
 			seg, total := r.Progress()
-			onBatch(seg, total, lastSeq)
+			opt.OnBatch(seg, total, lastSeq)
 		}
 	}
+	crossed := opt.Barrier == 0
 	for {
 		seq, ev, err := r.Next()
 		if err == io.EOF {
@@ -71,11 +91,21 @@ func DriveWAL(a *core.Analyzer, dir string, from, to uint64, onBatch func(segmen
 		if err != nil {
 			return res, err
 		}
-		if from > 0 && seq < from {
+		if opt.From > 0 && seq < opt.From {
 			continue
 		}
-		if to > 0 && seq > to {
+		if opt.To > 0 && seq > opt.To {
 			break
+		}
+		if !crossed && seq > opt.Barrier {
+			// Everything at or below the barrier must be through the
+			// analyzer before the caller's barrier action (lifting report
+			// suppression) takes effect for the records after it.
+			flush()
+			crossed = true
+			if opt.OnBarrier != nil {
+				opt.OnBarrier()
+			}
 		}
 		lastSeq = seq
 		res.Bytes += uint64(ev.WireBytes)

@@ -165,7 +165,7 @@ func TestWALCrashSoak(t *testing.T) {
 		return b
 	}
 	fromWAL := reports(func(a *core.Analyzer) {
-		res, err := replay.DriveWAL(a, dir, 0, 0, nil)
+		res, err := replay.DriveWAL(a, dir, replay.WALDrive{})
 		if err != nil {
 			t.Fatalf("DriveWAL: %v", err)
 		}
@@ -225,7 +225,7 @@ func TestCaptureThroughAnalyzer(t *testing.T) {
 	}
 
 	b := core.New(experiments.BenchLibrary(), core.Config{})
-	if _, err := replay.DriveWAL(b, dir, 0, 0, nil); err != nil {
+	if _, err := replay.DriveWAL(b, dir, replay.WALDrive{}); err != nil {
 		t.Fatal(err)
 	}
 	b.Close()
@@ -266,5 +266,59 @@ func TestCaptureBatchedOnce(t *testing.T) {
 		if got[i].ConnID != events[i].ConnID {
 			t.Fatalf("record %d out of order", i)
 		}
+	}
+}
+
+// TestDriveWALBarrierSplitsBatch: boot recovery lifts report
+// suppression at the durable cursor via the replay barrier. The split
+// must land exactly on the cursor even when it falls mid-batch —
+// everything at or below it ingested before OnBarrier fires, nothing
+// after it — or reports triggered by the unprocessed suffix are
+// silently swallowed while suppression is still on.
+func TestDriveWALBarrierSplitsBatch(t *testing.T) {
+	events := replay.Synthesize(replay.StreamConfig{Concurrency: 50, Events: 600, Seed: 5})
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Barrier 100 falls inside the first 256-event ingest batch.
+	a := core.New(experiments.BenchLibrary(), core.Config{})
+	atBarrier := -1
+	res, err := replay.DriveWAL(a, dir, replay.WALDrive{
+		Barrier:   100,
+		OnBarrier: func() { atBarrier = int(a.Stats.Events) },
+	})
+	a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 600 {
+		t.Fatalf("replayed %d events, want 600", res.Events)
+	}
+	if atBarrier != 100 {
+		t.Fatalf("OnBarrier fired with %d events ingested, want exactly the 100 at or below the barrier", atBarrier)
+	}
+
+	// A barrier at or past the end of the log is never crossed: the
+	// caller keeps suppression until the replay returns.
+	b := core.New(experiments.BenchLibrary(), core.Config{})
+	fired := false
+	if _, err := replay.DriveWAL(b, dir, replay.WALDrive{
+		Barrier:   600,
+		OnBarrier: func() { fired = true },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if fired {
+		t.Fatal("OnBarrier fired although no record lies past the barrier")
 	}
 }

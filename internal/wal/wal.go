@@ -266,6 +266,9 @@ func listSegments(dir string) ([]segInfo, error) {
 // segments are preserved: the writer scans backwards for the last
 // intact record and continues the sequence after it, always starting a
 // fresh segment — it never appends to a file a crash may have torn.
+// Trailing segments holding no intact record at all (a crash tore
+// their first append) are removed so the next segment's name cannot
+// collide with them.
 func Open(opts Options) (*Log, error) {
 	opts.defaults()
 	if opts.Dir == "" {
@@ -278,12 +281,9 @@ func Open(opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: listing %s: %w", opts.Dir, err)
 	}
-	l := &Log{opts: opts, segs: segs}
-	l.stats.Segments = len(segs)
-	for _, s := range segs {
-		l.stats.Bytes += s.bytes
-	}
+	l := &Log{opts: opts}
 	// Resume the sequence after the last intact record on disk.
+	resume := -1 // index of the newest segment holding an intact record
 	for i := len(segs) - 1; i >= 0; i-- {
 		last, ok, err := lastGoodSeq(segs[i].path)
 		if err != nil {
@@ -291,13 +291,29 @@ func Open(opts Options) (*Log, error) {
 		}
 		if ok {
 			l.nextSeq = last
+			resume = i
 			break
 		}
 	}
-	if l.nextSeq == 0 && len(segs) > 0 {
-		// Segments exist but hold no intact record (all torn): continue
-		// numbering from where the names say the writer got to.
-		l.nextSeq = segs[len(segs)-1].firstSeq - 1
+	// Segments newer than the resume point hold no intact record: a
+	// crash tore their very first append (or created them and died
+	// before any write). They must go, or openSegment's next file name
+	// — segName(nextSeq+1), exactly the torn segment's name — would
+	// collide on O_EXCL and fail every future append. Recovery returns
+	// nothing from them (any scan before this Open has counted their
+	// ink as a torn tail), and removal makes the torn sequence get
+	// reused by the next append exactly as it is after a mid-segment
+	// tear, keeping sequences dense.
+	for _, s := range segs[resume+1:] {
+		if err := os.Remove(s.path); err != nil {
+			return nil, fmt.Errorf("wal: removing recordless segment %s: %w", s.path, err)
+		}
+		telemetry.LogFirst("wal.recordless", "wal: dropped recordless torn segment %s (%d bytes)", s.path, s.bytes)
+	}
+	l.segs = segs[:resume+1]
+	l.stats.Segments = len(l.segs)
+	for _, s := range l.segs {
+		l.stats.Bytes += s.bytes
 	}
 	l.cursor = loadCursor(opts.Dir)
 	if l.cursor > l.nextSeq {
@@ -382,6 +398,14 @@ func (l *Log) AppendBatch(evs []trace.Event) (uint64, error) {
 		if err != nil {
 			mAppendErrors.Inc()
 			return l.nextSeq, fmt.Errorf("wal: encoding event: %w", err)
+		}
+		if len(body) > MaxRecord {
+			// The reader unconditionally skips any length prefix over
+			// MaxRecord, so acking this record would make it durable but
+			// unrecoverable — refuse the whole batch before any byte of
+			// it is written.
+			mAppendErrors.Inc()
+			return l.nextSeq, fmt.Errorf("wal: encoded event is %d bytes, over the %d-byte record bound", len(body), MaxRecord)
 		}
 		l.scratch = encodeRecord(l.scratch, l.nextSeq+uint64(i)+1, body)
 	}

@@ -445,3 +445,107 @@ func TestEmptyLog(t *testing.T) {
 		t.Fatalf("Close empty: %v", err)
 	}
 }
+
+// TestReopenAfterTornFirstAppend reopens a log whose newest segment
+// holds zero intact records — a crash tore the very first append after
+// a rotation (or the first append ever). Open must drop the recordless
+// segment so the next append can recreate its name; before the fix the
+// O_EXCL create collided with the torn file and every Append failed
+// with EEXIST forever.
+func TestReopenAfterTornFirstAppend(t *testing.T) {
+	t.Run("after-rotation", func(t *testing.T) {
+		dir := t.TempDir()
+		evs := testEvents(12)
+		l, _ := Open(Options{Dir: dir})
+		for _, ev := range evs[:10] {
+			l.Append(ev)
+		}
+		l.Close()
+		// Simulate the crash: the writer rotated to wal-11 and died with
+		// only a torn partial of record 11 on disk.
+		torn := filepath.Join(dir, segName(11))
+		if err := os.WriteFile(torn, []byte{recMagic0, recMagic1, recKind, 0xde, 0xad}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		l2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("reopen over torn segment: %v", err)
+		}
+		if l2.LastSeq() != 10 {
+			t.Fatalf("reopened LastSeq %d, want 10", l2.LastSeq())
+		}
+		for i, ev := range evs[10:] {
+			if _, err := l2.Append(ev); err != nil {
+				t.Fatalf("Append %d after reopen: %v", i, err)
+			}
+		}
+		l2.Close()
+
+		got, stats := readAll(t, dir)
+		if len(got) != 12 || stats.Quarantined != 0 || stats.Duplicates != 0 {
+			t.Fatalf("recovered %d records (quarantined %d, dups %d), want 12 clean",
+				len(got), stats.Quarantined, stats.Duplicates)
+		}
+		if stats.FirstSeq != 1 || stats.LastSeq != 12 {
+			t.Fatalf("sequence range %d..%d, want dense 1..12", stats.FirstSeq, stats.LastSeq)
+		}
+	})
+	t.Run("first-ever-append", func(t *testing.T) {
+		dir := t.TempDir()
+		torn := filepath.Join(dir, segName(1))
+		if err := os.WriteFile(torn, []byte{recMagic0, recMagic1}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("open over torn first segment: %v", err)
+		}
+		if l.LastSeq() != 0 {
+			t.Fatalf("LastSeq %d, want 0", l.LastSeq())
+		}
+		ev := testEvents(1)[0]
+		if seq, err := l.Append(ev); err != nil || seq != 1 {
+			t.Fatalf("Append after reopen: seq %d, err %v (want 1, nil)", seq, err)
+		}
+		l.Close()
+		got, stats := readAll(t, dir)
+		if len(got) != 1 || stats.Quarantined != 0 {
+			t.Fatalf("recovered %d records (quarantined %d), want 1 clean", len(got), stats.Quarantined)
+		}
+	})
+}
+
+// TestAppendRejectsOversizedRecord: the reader skips any length prefix
+// over MaxRecord, so an oversized body must be refused at append time —
+// acking it would make it durable but guaranteed-quarantined.
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(Options{Dir: dir})
+	evs := testEvents(3)
+	if _, err := l.Append(evs[0]); err != nil {
+		t.Fatal(err)
+	}
+	huge := evs[1]
+	huge.ErrorText = string(bytes.Repeat([]byte{'x'}, MaxRecord))
+	if _, err := l.Append(huge); err == nil {
+		t.Fatal("Append acked a record the reader is guaranteed to quarantine")
+	}
+	if l.LastSeq() != 1 {
+		t.Fatalf("LastSeq %d after rejected append, want 1", l.LastSeq())
+	}
+	// A batch containing one oversized event is refused whole, before
+	// any byte of it is written.
+	if _, err := l.AppendBatch([]trace.Event{evs[2], huge}); err == nil {
+		t.Fatal("AppendBatch acked a batch containing an unrecoverable record")
+	}
+	if seq, err := l.Append(evs[2]); err != nil || seq != 2 {
+		t.Fatalf("Append after rejection: seq %d, err %v (want 2, nil)", seq, err)
+	}
+	l.Close()
+	got, stats := readAll(t, dir)
+	if len(got) != 2 || stats.Quarantined != 0 || stats.LastSeq != 2 {
+		t.Fatalf("recovered %d records (quarantined %d, last %d), want 2 clean dense",
+			len(got), stats.Quarantined, stats.LastSeq)
+	}
+}
