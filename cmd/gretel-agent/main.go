@@ -29,6 +29,7 @@ import (
 	"gretel/internal/faults"
 	"gretel/internal/openstack"
 	"gretel/internal/telemetry"
+	"gretel/internal/telemetry/export"
 	"gretel/internal/tempest"
 	"gretel/internal/trace"
 )
@@ -49,6 +50,9 @@ func main() {
 		heartbeat    = flag.Duration("heartbeat", time.Second, "liveness heartbeat period per agent stream (negative disables)")
 		spool        = flag.Int("spool", 4096, "frames spooled in memory per stream while the analyzer is unreachable (oldest shed beyond this)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "wait this long at exit for spooled frames to flush")
+		exportURL    = flag.String("telemetry-export", "", "ship per-interval telemetry to this gretel-tsdb base URL (empty disables)")
+		exportIvl    = flag.Duration("export-interval", time.Second, "sampling interval for -telemetry-export")
+		exportBuf    = flag.Int("export-buffer", 10000, "points buffered while the TSDB is unreachable (oldest shed beyond this, counted)")
 	)
 	flag.Parse()
 
@@ -58,6 +62,22 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)", bound)
+	}
+
+	if *exportURL != "" {
+		exporter, err := export.Start(export.Options{
+			URL: *exportURL, Interval: *exportIvl, Buffer: *exportBuf, Proc: "gretel-agent",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			exporter.Drain(5 * time.Second)
+			exporter.Close()
+			es := exporter.Stats()
+			log.Printf("export: sampled %d delivered %d shed %d", es.Sampled, es.Delivered, es.Shed)
+		}()
+		log.Printf("exporting telemetry to %s every %v", *exportURL, *exportIvl)
 	}
 
 	cat := tempest.NewCatalog(*seed)

@@ -39,21 +39,25 @@ import (
 	"gretel/internal/core"
 	"gretel/internal/experiments"
 	"gretel/internal/telemetry"
+	"gretel/internal/telemetry/export"
 	"gretel/internal/tempest"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		fast     = flag.Bool("fast", false, "reduced scales for a quick pass")
-		outDir   = flag.String("out", "", "also write each figure's raw data as CSV into this directory")
-		workers  = flag.Int("detect-workers", 0, "fig8c detection worker pool size (0 = inline detection)")
-		shards   = flag.Int("ingest-shards", 0, "fig8c sharded ingest front-end size (0 = inline ingest)")
-		ingBatch = flag.Int("ingest-batch", 0, "fig8c ingest batch size (0 = default 256 with shards)")
-		walDir   = flag.String("wal-dir", "", "reanalyze: write-ahead log directory captured by gretel -wal")
-		walFrom  = flag.Uint64("wal-from", 0, "reanalyze: first WAL sequence to replay (0 = from the start)")
-		walTo    = flag.Uint64("wal-to", 0, "reanalyze: last WAL sequence to replay (0 = to the end)")
+		exp       = flag.String("exp", "all", "experiment to run")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		fast      = flag.Bool("fast", false, "reduced scales for a quick pass")
+		outDir    = flag.String("out", "", "also write each figure's raw data as CSV into this directory")
+		workers   = flag.Int("detect-workers", 0, "fig8c detection worker pool size (0 = inline detection)")
+		shards    = flag.Int("ingest-shards", 0, "fig8c sharded ingest front-end size (0 = inline ingest)")
+		ingBatch  = flag.Int("ingest-batch", 0, "fig8c ingest batch size (0 = default 256 with shards)")
+		walDir    = flag.String("wal-dir", "", "reanalyze: write-ahead log directory captured by gretel -wal")
+		walFrom   = flag.Uint64("wal-from", 0, "reanalyze: first WAL sequence to replay (0 = from the start)")
+		walTo     = flag.Uint64("wal-to", 0, "reanalyze: last WAL sequence to replay (0 = to the end)")
+		exportURL = flag.String("telemetry-export", "", "ship per-interval telemetry to this gretel-tsdb base URL while experiments run (empty disables)")
+		exportIvl = flag.Duration("export-interval", time.Second, "sampling interval for -telemetry-export")
+		exportBuf = flag.Int("export-buffer", 10000, "points buffered while the TSDB is unreachable (oldest shed beyond this, counted)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -63,7 +67,32 @@ func main() {
 		// Per-run sections append; start each invocation fresh.
 		os.Remove(filepath.Join(*outDir, "telemetry.txt"))
 		os.Remove(filepath.Join(*outDir, "telemetry.json"))
+		os.Remove(filepath.Join(*outDir, "telemetry.lp"))
 	}
+
+	// Live export while experiments run. The per-experiment
+	// telemetry.Reset() shows up to the sampler as a monotonic reset —
+	// detected, not mis-counted — so the shipped stream stays a valid
+	// per-interval history across experiment boundaries.
+	if *exportURL != "" {
+		exporter, err := export.Start(export.Options{
+			URL: *exportURL, Interval: *exportIvl, Buffer: *exportBuf, Proc: "gretel-experiments",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			exporter.Drain(5 * time.Second)
+			exporter.Close()
+			es := exporter.Stats()
+			log.Printf("export: sampled %d delivered %d shed %d", es.Sampled, es.Delivered, es.Shed)
+		}()
+		log.Printf("exporting telemetry to %s every %v", *exportURL, *exportIvl)
+	}
+	// lpTags stamp out/telemetry.lp points with the same host/proc/rev
+	// identity the live exporter uses, so a bulk-loaded file and a live
+	// stream land in comparable series.
+	lpTags := export.NewSampler(telemetry.Default(), "gretel-experiments").BaseTags()
 
 	// Each experiment runs against a zeroed default registry; its
 	// telemetry snapshot is appended to out/telemetry.txt — and the
@@ -84,6 +113,7 @@ func main() {
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		snap := telemetry.Snap()
 		appendTelemetry(*outDir, name, snap)
+		appendTelemetryLP(*outDir, name, &snap, lpTags)
 		// Rewrite the JSON after every experiment: an interrupted "all"
 		// run still leaves a valid file covering what completed.
 		sections = append(sections, telemetrySection{Experiment: name, Telemetry: snap})
@@ -260,6 +290,31 @@ func appendTelemetry(dir, name string, snap telemetry.Snapshot) {
 	}
 	fmt.Fprintln(f)
 	log.Printf("appended telemetry for %s to %s (%s)", name, path, snap)
+}
+
+// appendTelemetryLP appends one experiment's snapshot to
+// dir/telemetry.lp as InfluxDB line protocol — cumulative totals, one
+// point per metric, tagged with the experiment name — so any run can
+// be bulk-loaded into gretel-tsdb (curl --data-binary @out/telemetry.lp
+// .../write) for inspection; dir=="" is a no-op.
+func appendTelemetryLP(dir, name string, snap *telemetry.Snapshot, base []export.Tag) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, "telemetry.lp")
+	tags := append(append([]export.Tag{}, base...), export.Tag{Key: "experiment", Value: name})
+	data := export.AppendSnapshot(nil, snap, tags, time.Now().UnixNano())
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Printf("writing %s: %v", path, err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		log.Printf("writing %s: %v", path, err)
+		return
+	}
+	log.Printf("appended %s line-protocol points to %s", name, path)
 }
 
 // telemetrySection is one experiment's entry in out/telemetry.json: the

@@ -1,0 +1,75 @@
+// Command gretel-tsdb is the embedded time-series store for GRETEL's
+// telemetry export pipeline: a single-binary, zero-dependency receiver
+// that turns long soaks into queryable per-interval history.
+//
+// It accepts InfluxDB line protocol on POST /write, serves range
+// queries as JSON on GET /query?series=<key>&from=<ns>&to=<ns>, lists
+// known series on GET /series, and exposes its own accounting on
+// GET /stats — alongside the standard /metrics, /healthz, and
+// /debug/pprof/ of every gretel daemon. Data lands in append-only,
+// time-partitioned segments (WAL record framing, CRC-checked) under
+// -dir and survives crashes: recovery replays every intact record and
+// quarantines torn tails with counted, never silent, loss.
+//
+// Usage:
+//
+//	gretel-tsdb -listen :9870 -dir /var/lib/gretel-tsdb
+//	gretel -telemetry-export http://127.0.0.1:9870 ...
+//	curl 'http://127.0.0.1:9870/series'
+//	curl 'http://127.0.0.1:9870/query?series=core.events_ingested,host=h,proc=gretel,rev=r'
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gretel/internal/telemetry"
+	"gretel/internal/tsdb"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":9870", "address to serve /write, /query, /series, /metrics on")
+		dir       = flag.String("dir", "gretel-tsdb-data", "data directory for segments")
+		partition = flag.Duration("partition", time.Hour, "time-partition span per segment")
+		segBytes  = flag.Int64("segment-bytes", 64<<20, "rotate the active segment beyond this size")
+	)
+	flag.Parse()
+
+	telemetry.SetNotReadyReason("recovering segments")
+	store, err := tsdb.Open(tsdb.Options{
+		Dir:          *dir,
+		PartitionDur: *partition,
+		SegmentBytes: *segBytes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Recovered > 0 || st.SkippedBytes > 0 {
+		log.Printf("recovered %d points across %d series from %d segments (%d bytes quarantined)",
+			st.Recovered, st.Series, st.Segments, st.SkippedBytes)
+	}
+
+	bound, shutdown, err := telemetry.Serve(*listen, nil, store.Mounts()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	telemetry.SetReady(true)
+	log.Printf("gretel-tsdb on http://%s (write: POST /write, query: GET /query?series=...)", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	telemetry.SetReady(false)
+	shutdown()
+	if err := store.Close(); err != nil {
+		log.Fatalf("closing store: %v", err)
+	}
+	final := store.Stats()
+	log.Printf("stopped: %d points in %d series (%d rejected lines)", final.Points, final.Series, final.Rejected)
+}

@@ -44,6 +44,14 @@
 // and -wal-retain bounds the log's disk footprint. Combined with
 // -replay, a killed run resumes exactly where the log ends and its
 // report output is byte-identical to an uninterrupted run.
+//
+// -telemetry-export URL ships per-interval telemetry (counter deltas,
+// gauge values, histogram quantiles) to a gretel-tsdb instance as
+// InfluxDB line protocol, sampled every -export-interval and buffered
+// up to -export-buffer points while the TSDB is unreachable — excess
+// is shed oldest-first and counted, never silently dropped. The
+// summary's "export:" line prints the closed ledger
+// (sampled == delivered + shed).
 package main
 
 import (
@@ -65,6 +73,7 @@ import (
 	"gretel/internal/rca"
 	"gretel/internal/replay"
 	"gretel/internal/telemetry"
+	"gretel/internal/telemetry/export"
 	"gretel/internal/tempest"
 	"gretel/internal/tracestore"
 	"gretel/internal/wal"
@@ -97,9 +106,12 @@ func main() {
 		walDir     = flag.String("wal", "", "write-ahead log directory: capture every ingested event durably and replay the unprocessed suffix on restart (empty disables)")
 		walFsync   = flag.String("wal-fsync", "interval", "WAL fsync policy: none (OS flush only), interval (bounded loss window), every (fsync per append)")
 		walRetain  = flag.Int64("wal-retain", 1<<30, "WAL retention budget in bytes; closed segments beyond it are dropped oldest-first (negative retains everything)")
+		exportURL  = flag.String("telemetry-export", "", "ship per-interval telemetry to this gretel-tsdb base URL (e.g. http://127.0.0.1:9870; empty disables)")
+		exportIvl  = flag.Duration("export-interval", time.Second, "sampling interval for -telemetry-export")
+		exportBuf  = flag.Int("export-buffer", 10000, "points buffered in memory while the TSDB is unreachable (oldest shed beyond this, counted in export.points_shed)")
 	)
 	flag.Parse()
-	if err := validateFlags(*backlog, *traceCap, *shards, *ingBatch, *walFsync); err != nil {
+	if err := validateFlags(*backlog, *traceCap, *shards, *ingBatch, *walFsync, *exportIvl, *exportBuf); err != nil {
 		fmt.Fprintf(os.Stderr, "gretel: %v\n", err)
 		os.Exit(2)
 	}
@@ -126,6 +138,24 @@ func main() {
 		} else {
 			log.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)", bound)
 		}
+	}
+
+	// Telemetry export: the sampler walks the process-global registry, so
+	// it works with or without -telemetry. A down TSDB is not an error —
+	// the shipper retries with backoff and sheds oldest-first, counted.
+	var exporter *export.Exporter
+	if *exportURL != "" {
+		var err error
+		exporter, err = export.Start(export.Options{
+			URL:      *exportURL,
+			Interval: *exportIvl,
+			Buffer:   *exportBuf,
+			Proc:     "gretel",
+		})
+		if err != nil {
+			log.Fatalf("telemetry export: %v", err)
+		}
+		log.Printf("exporting telemetry to %s every %v (buffer %d points)", *exportURL, *exportIvl, *exportBuf)
 	}
 
 	var lib *fingerprint.Library
@@ -286,6 +316,17 @@ func main() {
 
 	st := analyzer.Stats
 	elapsed := time.Since(start)
+
+	// Close the exporter before printing the summary: the final sample
+	// and drain happen here, so the printed ledger is the closed one in
+	// which delivered + shed == sampled exactly.
+	var exportStats export.ExporterStats
+	if exporter != nil {
+		exporter.Drain(5 * time.Second)
+		exporter.Close()
+		exportStats = exporter.Stats()
+	}
+
 	fmt.Printf("\n--- summary ---\n")
 	fmt.Printf("events:    %d (%.0f/s, %.1f Mbps)\n", st.Events,
 		float64(st.Events)/elapsed.Seconds(), float64(st.Bytes)*8/1e6/elapsed.Seconds())
@@ -310,6 +351,10 @@ func main() {
 		ws := wlog.Stats()
 		fmt.Printf("wal:       %d records appended across %d segments (%d B, %d rotations, %d retired, cursor %d)\n",
 			ws.Appended, ws.Segments, ws.Bytes, ws.Rotated, ws.Retired, wlog.Cursor())
+	}
+	if exporter != nil {
+		fmt.Printf("export:    sampled %d delivered %d shed %d\n",
+			exportStats.Sampled, exportStats.Delivered, exportStats.Shed)
 	}
 	if wm := telemetry.GetHistogram("core.window_match").Stats(); wm.Count > 0 {
 		fmt.Printf("detect:    window-match p50=%.2fms p99=%.2fms max=%.2fms over %d snapshots\n",
@@ -344,7 +389,7 @@ func main() {
 // Negative values would silently flip internal sentinels (GOMAXPROCS
 // sizing, "cap disabled") a CLI user has no reason to request — fail
 // loudly with exit 2 instead.
-func validateFlags(detectBacklog, traceStoreCap, ingestShards, ingestBatch int, walFsync string) error {
+func validateFlags(detectBacklog, traceStoreCap, ingestShards, ingestBatch int, walFsync string, exportIvl time.Duration, exportBuf int) error {
 	switch {
 	case detectBacklog < 0:
 		return fmt.Errorf("-detect-backlog must be >= 0, got %d (0 means 4x workers)", detectBacklog)
@@ -354,6 +399,10 @@ func validateFlags(detectBacklog, traceStoreCap, ingestShards, ingestBatch int, 
 		return fmt.Errorf("-ingest-shards must be >= 0, got %d (0 means classic inline ingest)", ingestShards)
 	case ingestBatch < 0:
 		return fmt.Errorf("-ingest-batch must be >= 0, got %d (0 means the default batch size)", ingestBatch)
+	case exportIvl <= 0:
+		return fmt.Errorf("-export-interval must be > 0, got %v", exportIvl)
+	case exportBuf <= 0:
+		return fmt.Errorf("-export-buffer must be > 0, got %d", exportBuf)
 	}
 	if _, err := wal.ParseFsync(walFsync); err != nil {
 		return fmt.Errorf("-wal-fsync: %w", err)

@@ -8,6 +8,9 @@ package benchrunner
 
 import (
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -18,6 +21,8 @@ import (
 	"gretel/internal/fingerprint"
 	"gretel/internal/replay"
 	"gretel/internal/scenario"
+	"gretel/internal/telemetry"
+	"gretel/internal/telemetry/export"
 	"gretel/internal/trace"
 	"gretel/internal/tracestore"
 	"gretel/internal/tsoutliers"
@@ -45,6 +50,9 @@ func init() {
 	})
 	Register("wal-append", func() Scenario {
 		return &walScenario{desc: "write-ahead log append cost on the canonical fault-free stream, fsync none vs interval"}
+	})
+	Register("export-overhead", func() Scenario {
+		return &exportScenario{desc: "telemetry export (registry sampling + line-protocol shipping to a live receiver) on vs off on the canonical fault-free stream"}
 	})
 }
 
@@ -400,6 +408,112 @@ func (s *walScenario) Cases() []Case {
 		}}
 	}
 	return []Case{mk("fsync=none", wal.FsyncNone), mk("fsync=interval", wal.FsyncInterval)}
+}
+
+// --- export-overhead: telemetry sampling + shipping on vs off ---
+
+type exportScenario struct {
+	desc   string
+	lib    *fingerprint.Library
+	stream []trace.Event
+	srv    *http.Server
+	url    string
+}
+
+func (s *exportScenario) Name() string        { return "export-overhead" }
+func (s *exportScenario) Description() string { return s.desc }
+
+func (s *exportScenario) Setup(opts Options) error {
+	events := 50000
+	if opts.Short {
+		events = 20000
+	}
+	s.lib = experiments.BenchLibrary()
+	s.stream = experiments.CleanBenchStream(events)
+	// A healthy local receiver: accept every /write POST with 204, so
+	// the "on" case measures sampling + encoding + delivery, not retry.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusNoContent)
+	})}
+	go s.srv.Serve(ln)
+	s.url = "http://" + ln.Addr().String() + "/write"
+	return nil
+}
+
+func (s *exportScenario) Teardown() error {
+	err := s.srv.Close()
+	s.lib, s.stream, s.srv = nil, nil, nil
+	return err
+}
+
+// Cases compare the canonical ingest workload bare against the same
+// workload with the export pipeline live. Sampling is driven at a fixed
+// event cadence (32 samples per op) rather than the production
+// wall-clock tick, so the per-op export work — registry walks, delta
+// computation, line-protocol encoding, HTTP delivery — is deterministic
+// and the allocation gate stays meaningful across machine speeds.
+func (s *exportScenario) Cases() []Case {
+	return []Case{
+		{Name: "off", Run: func() (Metrics, error) { return s.run(0) }},
+		{Name: "on", Run: func() (Metrics, error) { return s.run(len(s.stream) / 32) }},
+	}
+}
+
+func (s *exportScenario) run(sampleEvery int) (Metrics, error) {
+	var smp *export.Sampler
+	var ship *export.Shipper
+	if sampleEvery > 0 {
+		smp = export.NewSampler(telemetry.Default(), "gretel-bench")
+		ship = export.NewShipper(export.ShipperConfig{URL: s.url, MaxPoints: 1 << 16})
+	}
+	a := core.New(s.lib, core.Config{})
+	start := time.Now()
+	samples := 0
+	for i := range s.stream {
+		a.Ingest(s.stream[i])
+		if sampleEvery > 0 && (i+1)%sampleEvery == 0 {
+			// Pre-size the batch (the shipper takes ownership, so it cannot
+			// be reused): append-doubling growth sits on a power-of-two
+			// knife edge where a one-byte-longer tag value (e.g. a -dirty
+			// rev suffix) shifts bytes/op past the gate tolerance.
+			buf, n := smp.Sample(make([]byte, 0, 128<<10), time.Now())
+			ship.Enqueue(buf, n)
+			samples++
+		}
+	}
+	a.Close()
+	wall := time.Since(start)
+	m := Metrics{
+		EventsPerOp: float64(len(s.stream)),
+		"events/s":  float64(len(s.stream)) / wall.Seconds(),
+	}
+	if sampleEvery == 0 {
+		return m, nil
+	}
+	drained := ship.Drain(30 * time.Second)
+	ship.Close()
+	st := ship.Stats()
+	if !drained {
+		return nil, fmt.Errorf("shipper failed to drain against a healthy receiver (buffered %d)", st.Buffered)
+	}
+	// The same zero-silent-loss discipline the chaos soak asserts: a
+	// bench that loses points quietly measures garbage.
+	if st.Delivered+st.Shed != st.Enqueued {
+		return nil, fmt.Errorf("export ledger unbalanced: %d delivered + %d shed != %d enqueued",
+			st.Delivered, st.Shed, st.Enqueued)
+	}
+	if st.Shed != 0 || st.Delivered == 0 {
+		return nil, fmt.Errorf("healthy receiver: want 0 shed and >0 delivered, got shed=%d delivered=%d",
+			st.Shed, st.Delivered)
+	}
+	m["samples"] = float64(samples)
+	m["points"] = float64(st.Delivered)
+	return m, nil
 }
 
 // --- table1-learning: the full offline characterization pass ---

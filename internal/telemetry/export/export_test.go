@@ -1,0 +1,384 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gretel/internal/telemetry"
+)
+
+func TestSamplerDeltasAndResetDetection(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("core.events_ingested")
+	g := reg.Gauge("wal.segments")
+	h := reg.Histogram("core.detect")
+	reg.RegisterFunc("tracestore.traces", func() float64 { return 7 })
+
+	s := NewSampler(reg, "test")
+
+	c.Add(100)
+	g.Set(3)
+	h.Observe(8 * time.Millisecond)
+	out, n := s.Sample(nil, time.Unix(100, 0))
+	if n != 4 {
+		t.Fatalf("first sample: %d points, want 4\n%s", n, out)
+	}
+	txt := string(out)
+	for _, want := range []string{
+		"core.events_ingested,", "delta=100i", "total=100i",
+		"wal.segments,", "value=3i",
+		"tracestore.traces,", "value=7",
+		"core.detect,", "count=1i", "p50_ms=8", "max_ms=8",
+	} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("first sample missing %q:\n%s", want, txt)
+		}
+	}
+
+	// Second interval: counter advanced by 50, histogram idle.
+	c.Add(50)
+	out, n = s.Sample(nil, time.Unix(101, 0))
+	if n != 3 { // idle histogram skipped
+		t.Fatalf("second sample: %d points, want 3\n%s", n, out)
+	}
+	txt = string(out)
+	if !strings.Contains(txt, "delta=50i") || !strings.Contains(txt, "total=150i") {
+		t.Fatalf("second sample wrong counter delta:\n%s", txt)
+	}
+	if strings.Contains(txt, "core.detect") {
+		t.Fatalf("idle histogram should be skipped:\n%s", txt)
+	}
+
+	// Registry reset mid-run (the experiments harness does this): the
+	// post-reset total must become the interval, not a negative delta.
+	reg.Reset()
+	c.Add(30)
+	h.Observe(2 * time.Millisecond)
+	out, _ = s.Sample(nil, time.Unix(102, 0))
+	txt = string(out)
+	if !strings.Contains(txt, "delta=30i") || !strings.Contains(txt, "total=30i") {
+		t.Fatalf("reset not detected for counter:\n%s", txt)
+	}
+	if !strings.Contains(txt, "count=1i") {
+		t.Fatalf("reset not detected for histogram:\n%s", txt)
+	}
+}
+
+func TestSamplerHistogramIntervalQuantiles(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat")
+	s := NewSampler(reg, "test")
+
+	// First interval: 100 observations at ~1ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	out, _ := s.Sample(nil, time.Unix(1, 0))
+	if !strings.Contains(string(out), "count=100i") {
+		t.Fatalf("first interval count wrong:\n%s", out)
+	}
+
+	// Second interval: a single 50ms observation. Interval quantiles
+	// must reflect only this interval — p50 ≈ 50ms, not ~1ms.
+	h.Observe(50 * time.Millisecond)
+	out, _ = s.Sample(nil, time.Unix(2, 0))
+	txt := string(out)
+	if !strings.Contains(txt, "count=1i") {
+		t.Fatalf("second interval count wrong:\n%s", txt)
+	}
+	if !strings.Contains(txt, "p50_ms=50") || !strings.Contains(txt, "max_ms=50") {
+		t.Fatalf("interval quantiles not delta'd (want p50_ms=50, max_ms=50):\n%s", txt)
+	}
+}
+
+func TestSamplerSteadyStateAllocs(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 8; i++ {
+		reg.Counter(fmt.Sprintf("c%d", i)).Add(uint64(i))
+		reg.Gauge(fmt.Sprintf("g%d", i)).Set(int64(i))
+		reg.Histogram(fmt.Sprintf("h%d", i)).Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	s := NewSampler(reg, "test")
+	buf := make([]byte, 0, 1<<16)
+	ts := time.Unix(50, 0)
+	// Warm up: maps, scratch slices, and histogram captures size up.
+	for i := 0; i < 3; i++ {
+		buf2, _ := s.Sample(buf[:0], ts)
+		_ = buf2
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		reg.Counter("c0").Inc()
+		reg.Histogram("h0").Observe(time.Millisecond)
+		out, _ := s.Sample(buf[:0], ts)
+		if cap(out) > cap(buf) {
+			buf = out[:0] // keep the grown buffer for the next round
+		}
+	})
+	// Inc/Observe allocate nothing; the sample path may touch a few
+	// map-internal allocations on some runtimes but must not rebuild
+	// maps or buffers per scrape.
+	if allocs > 4 {
+		t.Fatalf("Sample allocates %.0f allocs/op steady-state, want ~0", allocs)
+	}
+}
+
+// chaosReceiver is a fault-injecting line-protocol receiver: it can be
+// killed and restarted on the same address mid-stream, and injects HTTP
+// 500s with the given probability. It records every distinct point id
+// it has accepted (first field of the line).
+type chaosReceiver struct {
+	addr    string
+	failPct int
+
+	mu   sync.Mutex
+	srv  *http.Server
+	ln   net.Listener
+	seen map[string]bool
+	rng  *rand.Rand
+}
+
+func newChaosReceiver(t *testing.T, failPct int) *chaosReceiver {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &chaosReceiver{
+		addr:    ln.Addr().String(),
+		failPct: failPct,
+		seen:    make(map[string]bool),
+		rng:     rand.New(rand.NewSource(42)),
+	}
+	r.start(t, ln)
+	return r
+}
+
+func (r *chaosReceiver) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		r.mu.Lock()
+		fail := r.rng.Intn(100) < r.failPct
+		if fail {
+			r.mu.Unlock()
+			// Reject the whole batch: the shipper must retry it.
+			http.Error(w, "injected fault", http.StatusInternalServerError)
+			return
+		}
+		sc := bufio.NewScanner(bytes.NewReader(body))
+		for sc.Scan() {
+			line := sc.Text()
+			if line != "" {
+				r.seen[line] = true
+			}
+		}
+		r.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+func (r *chaosReceiver) start(t *testing.T, ln net.Listener) {
+	if ln == nil {
+		var err error
+		for i := 0; i < 50; i++ {
+			ln, err = net.Listen("tcp", r.addr)
+			if err == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond) // port may linger in TIME_WAIT briefly
+		}
+		if err != nil {
+			t.Fatalf("restart listener: %v", err)
+		}
+	}
+	srv := &http.Server{Handler: r.handler()}
+	r.mu.Lock()
+	r.srv, r.ln = srv, ln
+	r.mu.Unlock()
+	go srv.Serve(ln)
+}
+
+func (r *chaosReceiver) kill() {
+	r.mu.Lock()
+	srv := r.srv
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+func (r *chaosReceiver) seenCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.seen)
+}
+
+// TestShipperChaosAccounting is the zero-silent-loss test: unique
+// points stream through the shipper while the receiver is killed,
+// restarted, and injecting 500s. After Close, delivered + shed must
+// equal enqueued exactly, delivered points must all have reached the
+// receiver, and nothing may be unaccounted.
+func TestShipperChaosAccounting(t *testing.T) {
+	recv := newChaosReceiver(t, 20)
+	s := NewShipper(ShipperConfig{
+		URL:        "http://" + recv.addr + "/write",
+		MaxPoints:  200, // small ring so outages force shedding
+		Client:     &http.Client{Timeout: time.Second},
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 40 * time.Millisecond,
+	})
+
+	const batches = 120
+	const perBatch = 10
+	var enqueued uint64
+	for i := 0; i < batches; i++ {
+		var buf []byte
+		for j := 0; j < perBatch; j++ {
+			p := Point{
+				Name:   "chaos.point",
+				Tags:   []Tag{{"id", fmt.Sprintf("b%03d-p%02d", i, j)}},
+				Fields: []Field{{Key: "v", Value: 1, Integer: true}},
+				TimeNS: int64(i*perBatch + j),
+			}
+			var err error
+			buf, err = AppendPoint(buf, &p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Enqueue(buf, perBatch)
+		enqueued += perBatch
+
+		switch i {
+		case 30:
+			recv.kill() // hard outage: connection refused
+		case 55:
+			recv.start(t, nil) // back up, still injecting 500s
+		case 80:
+			recv.kill()
+		case 100:
+			recv.start(t, nil)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.Drain(5 * time.Second)
+	s.Close()
+
+	st := s.Stats()
+	if st.Enqueued != enqueued {
+		t.Fatalf("enqueued ledger %d != %d points handed in", st.Enqueued, enqueued)
+	}
+	if st.Delivered+st.Shed != st.Enqueued {
+		t.Fatalf("silent loss: delivered %d + shed %d != enqueued %d",
+			st.Delivered, st.Shed, st.Enqueued)
+	}
+	if st.Buffered != 0 {
+		t.Fatalf("buffered %d after Close", st.Buffered)
+	}
+	// At-least-once: everything the ledger says was delivered must be
+	// at the receiver. (The receiver may hold more — a batch counted as
+	// shed can still have physically arrived if it was overflow-shed
+	// while its POST was in flight.)
+	if got := uint64(recv.seenCount()); got < st.Delivered {
+		t.Fatalf("receiver saw %d points < %d delivered", got, st.Delivered)
+	}
+	if st.Delivered == 0 {
+		t.Fatal("nothing delivered — receiver never reachable?")
+	}
+	if st.Shed == 0 {
+		t.Log("note: no shedding occurred this run (outage drained in time)")
+	}
+	recv.kill()
+}
+
+// TestExporterEndToEnd runs the full sampler→shipper pipeline against a
+// live receiver and checks the Sampled-side ledger.
+func TestExporterEndToEnd(t *testing.T) {
+	recv := newChaosReceiver(t, 0)
+	defer recv.kill()
+
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("e2e.events")
+	e, err := Start(Options{
+		URL:      "http://" + recv.addr,
+		Interval: 10 * time.Millisecond,
+		Buffer:   1000,
+		Proc:     "test",
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Add(5)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !e.Drain(2 * time.Second) {
+		t.Fatal("drain timed out against a healthy receiver")
+	}
+	e.Close()
+	st := e.Stats()
+	if st.Sampled == 0 {
+		t.Fatal("nothing sampled")
+	}
+	if st.Sampled != st.Enqueued {
+		t.Fatalf("sampled %d != enqueued %d", st.Sampled, st.Enqueued)
+	}
+	if st.Delivered+st.Shed != st.Sampled {
+		t.Fatalf("delivered %d + shed %d != sampled %d", st.Delivered, st.Shed, st.Sampled)
+	}
+	if recv.seenCount() == 0 {
+		t.Fatal("receiver saw no points")
+	}
+}
+
+func TestShipperOverflowShedsOldestFirst(t *testing.T) {
+	// Receiver that never answers: everything backs up in the ring.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the connection open without responding.
+			defer c.Close()
+		}
+	}()
+
+	s := NewShipper(ShipperConfig{
+		URL:        "http://" + ln.Addr().String() + "/write",
+		MaxPoints:  30,
+		Client:     &http.Client{Timeout: 50 * time.Millisecond},
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 10 * time.Millisecond,
+	})
+	for i := 0; i < 10; i++ {
+		buf, _ := AppendPoint(nil, &Point{
+			Name:   "m",
+			Fields: []Field{{Key: "v", Value: float64(i), Integer: true}},
+			TimeNS: int64(i),
+		})
+		s.Enqueue(buf, 10)
+	}
+	s.Close()
+	st := s.Stats()
+	if st.Delivered+st.Shed != st.Enqueued || st.Enqueued != 100 {
+		t.Fatalf("ledger broken: %+v", st)
+	}
+	if st.Shed < 70 {
+		t.Fatalf("expected ≥70 points shed with a 30-point ring, got %d", st.Shed)
+	}
+}

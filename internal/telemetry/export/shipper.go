@@ -1,0 +1,296 @@
+package export
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"gretel/internal/telemetry"
+)
+
+// Shipper delivers encoded line-protocol batches to a TSDB over plain
+// HTTP POST. It applies the PR 3 transport discipline to metrics: a
+// bounded in-memory ring of batches, jittered exponential-backoff retry
+// while the receiver is down, oldest-first shedding when the ring
+// overflows — every shed point counted, never silently dropped — and a
+// graceful Drain/Close. At all times after Close:
+//
+//	delivered + shed == enqueued
+//
+// which the chaos test asserts across receiver kills and restarts.
+// Delivery is at-least-once: a batch shed by overflow while its POST
+// was in flight may still reach the receiver, but the ledger counts it
+// as shed (conservative, and the sum still balances).
+type Shipper struct {
+	url        string
+	client     *http.Client
+	maxPts     int // ring capacity in points, not batches
+	backoffMin time.Duration
+	backoffMax time.Duration
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ring      []batch
+	buffered  int // points currently in ring
+	enqueued  uint64
+	delivered uint64
+	shed      uint64
+	closed    bool
+
+	closing chan struct{} // closed by Close; interrupts backoff sleeps
+	done    chan struct{} // closed when the delivery loop exits
+
+	rng *rand.Rand
+
+	mDelivered *telemetry.Counter
+	mShed      *telemetry.Counter
+	mPosts     *telemetry.Counter
+	mPostErrs  *telemetry.Counter
+	mBuffered  *telemetry.Gauge
+	mPost      *telemetry.Histogram
+}
+
+type batch struct {
+	data   []byte
+	points int
+}
+
+// ShipperConfig configures a Shipper. Zero values get defaults.
+type ShipperConfig struct {
+	// URL is the TSDB write endpoint (e.g. http://host:9187/write).
+	URL string
+	// MaxPoints bounds the ring in points; default 10000.
+	MaxPoints int
+	// Client overrides the HTTP client; default has a 5s timeout.
+	Client *http.Client
+	// BackoffMin/BackoffMax bound the retry schedule; defaults
+	// 100ms / 5s. Tests tighten them.
+	BackoffMin, BackoffMax time.Duration
+}
+
+// ShipperStats is the shipper's authoritative loss accounting. The
+// registry counters mirror these values but can be reset mid-run (the
+// experiments harness does); the struct fields cannot.
+type ShipperStats struct {
+	Enqueued  uint64 `json:"enqueued"`
+	Delivered uint64 `json:"delivered"`
+	Shed      uint64 `json:"shed"`
+	Buffered  int    `json:"buffered"`
+}
+
+// NewShipper starts a shipper's delivery goroutine and returns it.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 10000
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	s := &Shipper{
+		url:        cfg.URL,
+		client:     cfg.Client,
+		maxPts:     cfg.MaxPoints,
+		backoffMin: cfg.BackoffMin,
+		backoffMax: cfg.BackoffMax,
+		closing:    make(chan struct{}),
+		done:       make(chan struct{}),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		mDelivered: telemetry.GetCounter("export.points_delivered"),
+		mShed:      telemetry.GetCounter("export.points_shed"),
+		mPosts:     telemetry.GetCounter("export.posts"),
+		mPostErrs:  telemetry.GetCounter("export.post_errors"),
+		mBuffered:  telemetry.GetGauge("export.buffered_points"),
+		mPost:      telemetry.GetHistogram("export.post"),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.loop()
+	return s
+}
+
+// Enqueue hands one encoded batch (data: line-protocol bytes, points:
+// how many lines) to the delivery loop. The shipper owns data after the
+// call. If the ring is full, the oldest batches are shed — counted in
+// export.points_shed — until the new batch fits; a batch larger than
+// the whole ring is itself shed immediately. Enqueue after Close sheds
+// the batch (still counted) rather than dropping it silently.
+func (s *Shipper) Enqueue(data []byte, points int) {
+	if points <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.enqueued += uint64(points)
+	if s.closed {
+		s.shedLocked(uint64(points))
+		s.mu.Unlock()
+		return
+	}
+	for s.buffered+points > s.maxPts && len(s.ring) > 0 {
+		old := s.ring[0]
+		s.ring = s.ring[1:]
+		s.buffered -= old.points
+		s.shedLocked(uint64(old.points))
+	}
+	if points > s.maxPts {
+		s.shedLocked(uint64(points))
+		s.mu.Unlock()
+		return
+	}
+	s.ring = append(s.ring, batch{data: data, points: points})
+	s.buffered += points
+	s.mBuffered.Set(int64(s.buffered))
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *Shipper) shedLocked(n uint64) {
+	s.shed += n
+	s.mShed.Add(n)
+}
+
+// loop is the delivery goroutine: take the oldest batch, POST it,
+// retry with jittered exponential backoff on failure. The batch stays
+// at the ring head while retrying, so overflow shedding under a dead
+// receiver still evicts oldest-first.
+func (s *Shipper) loop() {
+	defer close(s.done)
+	backoff := s.backoffMin
+	for {
+		s.mu.Lock()
+		for len(s.ring) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.ring) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		b := s.ring[0]
+		s.mu.Unlock()
+
+		err := s.post(b.data)
+
+		s.mu.Lock()
+		// The batch may have been overflow-shed (and counted) while the
+		// POST was in flight; only settle it if it is still the head.
+		head := len(s.ring) > 0 && &s.ring[0].data[0] == &b.data[0]
+		if head && err == nil {
+			s.ring = s.ring[1:]
+			s.buffered -= b.points
+			s.delivered += uint64(b.points)
+			s.mDelivered.Add(uint64(b.points))
+			s.mBuffered.Set(int64(s.buffered))
+			s.cond.Broadcast() // wake Drain waiters
+		}
+		if head && err != nil && s.closed {
+			// Closing with a dead receiver: one failed attempt per
+			// batch, then shed it so Close terminates promptly.
+			s.ring = s.ring[1:]
+			s.buffered -= b.points
+			s.shedLocked(uint64(b.points))
+			s.mBuffered.Set(int64(s.buffered))
+			s.cond.Broadcast()
+			err = nil // skip the backoff sleep below
+		}
+		s.mu.Unlock()
+
+		if err == nil {
+			backoff = s.backoffMin
+			continue
+		}
+		// Jittered exponential backoff: sleep backoff ± 25%,
+		// interruptible by Close.
+		s.mu.Lock()
+		jitter := time.Duration(s.rng.Int63n(int64(backoff)/2 + 1))
+		s.mu.Unlock()
+		t := time.NewTimer(backoff - backoff/4 + jitter)
+		select {
+		case <-t.C:
+		case <-s.closing:
+			t.Stop()
+		}
+		backoff *= 2
+		if backoff > s.backoffMax {
+			backoff = s.backoffMax
+		}
+	}
+}
+
+// post sends one batch; any non-2xx status or transport error counts as
+// a failed attempt.
+func (s *Shipper) post(data []byte) error {
+	sp := s.mPost.Start()
+	s.mPosts.Inc()
+	resp, err := s.client.Post(s.url, "text/plain; charset=utf-8", bytes.NewReader(data))
+	sp.End()
+	if err != nil {
+		s.mPostErrs.Inc()
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		s.mPostErrs.Inc()
+		return fmt.Errorf("export: POST %s: status %d", s.url, resp.StatusCode)
+	}
+	return nil
+}
+
+// Drain blocks until the ring is empty (everything enqueued so far is
+// delivered or shed) or the timeout elapses, reporting whether it
+// drained. Points enqueued concurrently with Drain extend the wait.
+func (s *Shipper) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.ring) > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		// cond.Wait has no deadline; poll with a short sleep instead of
+		// threading a timer through the delivery loop.
+		s.mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+		s.mu.Lock()
+	}
+	return true
+}
+
+// Close attempts a best-effort final delivery (one attempt per buffered
+// batch), then sheds whatever could not be delivered — counted, so the
+// delivered + shed == enqueued ledger always balances after Close.
+// Close is idempotent; Enqueue after Close sheds.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	close(s.closing)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+	s.mBuffered.Set(0)
+}
+
+// Stats returns the authoritative ledger.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShipperStats{
+		Enqueued:  s.enqueued,
+		Delivered: s.delivered,
+		Shed:      s.shed,
+		Buffered:  s.buffered,
+	}
+}

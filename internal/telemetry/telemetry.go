@@ -207,34 +207,53 @@ func (h *Histogram) Mean() time.Duration {
 // cumulative bucket counts and interpolating linearly inside the bucket
 // the rank lands in. Returns 0 on an empty histogram.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
+	return quantileScan(func(i int) uint64 { return h.buckets[i].Load() },
+		h.count.Load(), h.max.Load(), q)
+}
+
+// quantileScan is the shared quantile interpolation over log buckets,
+// used by both the live histogram and HistSnap captures. Inside the
+// bucket the rank lands in it interpolates linearly over [lo, hi) —
+// except in the bucket holding the recorded maximum, where the true
+// upper bound is the maximum itself, not the bucket edge: there it
+// interpolates over [lo, max]. Without that, the top log bucket reports
+// its (up to ~3% high) edge clamped back to max, and a single-sample
+// histogram answers every quantile with the bucket boundary instead of
+// the one value it actually saw.
+func quantileScan(bucket func(int) uint64, total, max uint64, q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
 	if q >= 1 {
-		return h.Max()
+		return time.Duration(max)
 	}
 	rank := q * float64(total)
 	if rank < 1 {
 		rank = 1
 	}
 	cum := 0.0
-	for i := range h.buckets {
-		c := float64(h.buckets[i].Load())
+	for i := 0; i < histBuckets; i++ {
+		c := float64(bucket(i))
 		if c == 0 {
 			continue
 		}
 		if cum+c >= rank {
 			lo, hi := bucketBounds(i)
-			v := float64(lo) + (rank-cum)/c*float64(hi-lo)
-			if m := float64(h.max.Load()); v > m {
+			top := float64(hi)
+			if max >= lo && max < hi {
+				top = float64(max)
+			} else {
+				top = float64(hi - 1)
+			}
+			v := float64(lo) + (rank-cum)/c*(top-float64(lo))
+			if m := float64(max); v > m {
 				v = m
 			}
 			return time.Duration(v)
 		}
 		cum += c
 	}
-	return h.Max()
+	return time.Duration(max)
 }
 
 // Reset zeroes the histogram in place.
@@ -268,6 +287,95 @@ func (h *Histogram) Stats() HistStats {
 		P99Ms:  ms(h.Quantile(0.99)),
 		MaxMs:  ms(h.Max()),
 	}
+}
+
+// HistSnap is a raw histogram capture: the totals plus every bucket
+// count, enough to compute quantiles over the *difference* of two
+// captures — how the telemetry exporter turns cumulative histograms
+// into per-interval latency series. The zero value is ready for Snap.
+type HistSnap struct {
+	Count, Sum uint64
+	// Max is the cumulative maximum (nanoseconds) at capture time. A
+	// histogram does not track per-interval maxima, so after Sub this
+	// stays the cumulative value and quantile/max estimates clamp
+	// against the tightest bound available (see MaxNS).
+	Max     uint64
+	Buckets []uint64
+}
+
+// Snap captures the histogram into dst, reusing dst.Buckets when it has
+// capacity — steady-state captures allocate nothing.
+func (h *Histogram) Snap(dst *HistSnap) {
+	dst.Count = h.count.Load()
+	dst.Sum = h.sum.Load()
+	dst.Max = h.max.Load()
+	if cap(dst.Buckets) < histBuckets {
+		dst.Buckets = make([]uint64, histBuckets)
+	}
+	dst.Buckets = dst.Buckets[:histBuckets]
+	for i := range h.buckets {
+		dst.Buckets[i] = h.buckets[i].Load()
+	}
+}
+
+// Sub subtracts prev from s in place, turning two cumulative captures
+// into the per-interval delta. It reports false — leaving s as the full
+// cumulative capture — when prev is not a prefix of s (the histogram
+// was reset between captures): the caller then treats the whole current
+// capture as the interval, the same monotonic-reset rule counters use.
+func (s *HistSnap) Sub(prev *HistSnap) bool {
+	if prev.Count == 0 {
+		return true
+	}
+	if s.Count < prev.Count || s.Sum < prev.Sum || len(prev.Buckets) != len(s.Buckets) {
+		return false
+	}
+	for i, p := range prev.Buckets {
+		if s.Buckets[i] < p {
+			return false
+		}
+	}
+	s.Count -= prev.Count
+	s.Sum -= prev.Sum
+	for i, p := range prev.Buckets {
+		s.Buckets[i] -= p
+	}
+	return true
+}
+
+// Quantile answers the q-th quantile over the capture with the same
+// interpolation as Histogram.Quantile, bounded by MaxNS — exact for a
+// single-sample interval whose sample is the cumulative maximum.
+func (s *HistSnap) Quantile(q float64) time.Duration {
+	if len(s.Buckets) == 0 {
+		return 0
+	}
+	return quantileScan(func(i int) uint64 { return s.Buckets[i] }, s.Count, s.MaxNS(), q)
+}
+
+// MaxNS estimates the capture's maximum observation in nanoseconds: the
+// cumulative maximum when it falls inside the highest non-empty bucket
+// (exact for a fresh histogram or an interval that produced the max),
+// otherwise that bucket's last representable value (within one bucket
+// width, ~3%).
+func (s *HistSnap) MaxNS() uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	for i := len(s.Buckets) - 1; i >= 0; i-- {
+		if s.Buckets[i] == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		if s.Max >= lo && s.Max < hi {
+			return s.Max
+		}
+		if s.Max < hi {
+			return s.Max
+		}
+		return hi - 1
+	}
+	return 0
 }
 
 // Registry is a named collection of metrics. Get-or-create accessors are
@@ -414,57 +522,75 @@ type Snapshot struct {
 	Gauges     map[string]int64     `json:"gauges"`
 	Funcs      map[string]float64   `json:"funcs,omitempty"`
 	Histograms map[string]HistStats `json:"histograms"`
+
+	// funcScratch is SnapshotInto's reusable staging area for evaluating
+	// registered funcs outside the registry lock (a func is free to call
+	// back into the registry; holding the read lock across that call
+	// could deadlock against a waiting writer).
+	funcScratch []funcEntry
 }
 
-// Snapshot reads the registry. Counters and histograms written
-// concurrently are captured approximately (each metric individually
-// consistent).
+type funcEntry struct {
+	name string
+	fn   func() float64
+}
+
+// Snapshot reads the registry into a fresh Snapshot. Counters and
+// histograms written concurrently are captured approximately (each
+// metric individually consistent).
 func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	r.SnapshotInto(&snap)
+	return snap
+}
+
+// SnapshotInto captures every metric into snap, reusing its maps and
+// scratch buffers: a periodic scraper (the telemetry exporter at a 1s
+// interval) reaches zero steady-state allocations once the metric set
+// stabilizes, instead of rebuilding four maps per scrape. The snap must
+// not be read concurrently with the next SnapshotInto on it.
+func (r *Registry) SnapshotInto(snap *Snapshot) {
+	snap.Provenance = Prov()
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]uint64)
+	}
+	if snap.Gauges == nil {
+		snap.Gauges = make(map[string]int64)
+	}
+	if snap.Histograms == nil {
+		snap.Histograms = make(map[string]HistStats)
+	}
+	clear(snap.Counters)
+	clear(snap.Gauges)
+	clear(snap.Histograms)
+	clear(snap.Funcs)
+	snap.funcScratch = snap.funcScratch[:0]
+
 	r.mu.RLock()
-	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
-		counters[k] = v
+		snap.Counters[k] = v.Value()
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
 	for k, v := range r.gauges {
-		gauges[k] = v
+		snap.Gauges[k] = v.Value()
 	}
-	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
-		hists[k] = v
+		snap.Histograms[k] = v.Stats()
 	}
-	funcs := make(map[string]func() float64, len(r.funcs))
-	for k, v := range r.funcs {
-		funcs[k] = v
+	for k, fn := range r.funcs {
+		snap.funcScratch = append(snap.funcScratch, funcEntry{k, fn})
 	}
 	r.mu.RUnlock()
 
-	snap := Snapshot{
-		Provenance: Prov(),
-		Counters:   make(map[string]uint64, len(counters)),
-		Gauges:     make(map[string]int64, len(gauges)),
-		Histograms: make(map[string]HistStats, len(hists)),
+	if len(snap.funcScratch) > 0 && snap.Funcs == nil {
+		snap.Funcs = make(map[string]float64, len(snap.funcScratch))
 	}
-	for k, v := range counters {
-		snap.Counters[k] = v.Value()
-	}
-	for k, v := range gauges {
-		snap.Gauges[k] = v.Value()
-	}
-	for k, v := range hists {
-		snap.Histograms[k] = v.Stats()
-	}
-	if len(funcs) > 0 {
-		snap.Funcs = make(map[string]float64, len(funcs))
-		for k, fn := range funcs {
-			v := fn()
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				v = 0
-			}
-			snap.Funcs[k] = v
+	for _, e := range snap.funcScratch {
+		v := e.fn()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
 		}
+		snap.Funcs[e.name] = v
 	}
-	return snap
 }
 
 // Reset zeroes every metric in place; cached pointers stay valid.

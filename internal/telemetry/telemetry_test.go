@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -304,5 +305,135 @@ func TestSnapshotCarriesProvenance(t *testing.T) {
 	snap := NewRegistry().Snapshot()
 	if snap.Provenance != p {
 		t.Errorf("snapshot provenance %+v != Prov() %+v", snap.Provenance, p)
+	}
+}
+
+// TestQuantileTopBucketInterpolation is the regression test for the
+// top-log-bucket fix: inside the bucket holding the maximum, quantiles
+// interpolate toward the recorded max, not the bucket's upper edge —
+// so a single-sample histogram answers every quantile with the one
+// value it saw (not the bucket boundary, and not 0 for a 0ns sample).
+func TestQuantileTopBucketInterpolation(t *testing.T) {
+	for _, d := range []time.Duration{0, 1, 5 * time.Millisecond, 987654321, 1<<40 + 12345} {
+		h := &Histogram{}
+		h.Observe(d)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if got := h.Quantile(q); got != d {
+				t.Errorf("single sample %v: Quantile(%v) = %v, want the sample", d, q, got)
+			}
+		}
+		if got := h.Stats(); got.MaxMs != float64(d)/1e6 {
+			t.Errorf("single sample %v: MaxMs = %v", d, got.MaxMs)
+		}
+	}
+
+	// Many samples in the max's bucket: the quantile must never exceed
+	// the max, and the top quantile must land on it.
+	h := &Histogram{}
+	base := time.Duration(1 << 30)
+	for i := 0; i < 100; i++ {
+		h.Observe(base + time.Duration(i)) // all land in one log bucket
+	}
+	maxv := base + 99
+	if got := h.Quantile(0.999); got > maxv {
+		t.Errorf("P99.9 = %v beyond max %v", got, maxv)
+	}
+	if got := h.Quantile(1); got != maxv {
+		t.Errorf("Quantile(1) = %v, want max %v", got, maxv)
+	}
+}
+
+// TestHistSnapDeltaQuantiles exercises the capture-and-subtract path
+// the exporter uses: quantiles over an interval's bucket deltas, with
+// reset detection, and the single-sample-interval exactness regression.
+func TestHistSnapDeltaQuantiles(t *testing.T) {
+	h := &Histogram{}
+	var prev, cur HistSnap
+	h.Observe(2 * time.Millisecond)
+	h.Snap(&prev)
+
+	// One new sample this interval; it is also the cumulative max.
+	h.Observe(8 * time.Millisecond)
+	h.Snap(&cur)
+	if !cur.Sub(&prev) {
+		t.Fatal("Sub reported a reset on a monotonic histogram")
+	}
+	if cur.Count != 1 {
+		t.Fatalf("interval count = %d, want 1", cur.Count)
+	}
+	want := 8 * time.Millisecond
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := cur.Quantile(q); got != want {
+			t.Errorf("interval Quantile(%v) = %v, want %v (single-sample interval)", q, got, want)
+		}
+	}
+	if got := time.Duration(cur.MaxNS()); got != want {
+		t.Errorf("interval MaxNS = %v, want %v", got, want)
+	}
+	if got := time.Duration(cur.Sum); got != 8*time.Millisecond {
+		t.Errorf("interval Sum = %v", got)
+	}
+
+	// An interval whose samples are all below the cumulative max: the
+	// max estimate must come from the interval's own top bucket, within
+	// one bucket width — not 0, not the stale cumulative max.
+	h.Snap(&prev)
+	h.Observe(1 * time.Millisecond)
+	h.Snap(&cur)
+	if !cur.Sub(&prev) {
+		t.Fatal("Sub reported a reset")
+	}
+	got := time.Duration(cur.MaxNS())
+	if got < 1*time.Millisecond || got > 1*time.Millisecond+time.Millisecond/16 {
+		t.Errorf("interval MaxNS = %v, want ~1ms (one bucket width)", got)
+	}
+	if p := cur.Quantile(0.99); p < 1*time.Millisecond-time.Millisecond/16 || p > got {
+		t.Errorf("interval P99 = %v, want ~1ms", p)
+	}
+
+	// Reset detection: a zeroed histogram is not a superset of prev.
+	h.Reset()
+	h.Observe(3 * time.Millisecond)
+	h.Snap(&cur)
+	if cur.Sub(&prev) {
+		t.Fatal("Sub accepted a reset histogram as monotonic")
+	}
+	if cur.Count != 1 {
+		t.Fatalf("failed Sub must leave the capture untouched; count = %d", cur.Count)
+	}
+}
+
+// TestSnapshotIntoReusesBuffers pins the exporter's scrape cost: once
+// the metric set is stable, SnapshotInto into a reused Snapshot must
+// not allocate.
+func TestSnapshotIntoReusesBuffers(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		r.Counter(fmt.Sprintf("c.%d", i)).Add(uint64(i))
+		r.Gauge(fmt.Sprintf("g.%d", i)).Set(int64(i))
+		r.Histogram(fmt.Sprintf("h.%d", i)).Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	r.RegisterFunc("f.0", func() float64 { return 1.5 })
+
+	var snap Snapshot
+	r.SnapshotInto(&snap) // warm the maps
+	allocs := testing.AllocsPerRun(100, func() {
+		r.SnapshotInto(&snap)
+	})
+	if allocs > 0 {
+		t.Errorf("SnapshotInto steady-state allocs = %v, want 0", allocs)
+	}
+	if snap.Counters["c.3"] != 3 || snap.Gauges["g.5"] != 5 || snap.Funcs["f.0"] != 1.5 {
+		t.Errorf("reused snapshot dropped values: %+v", snap)
+	}
+	if len(snap.Histograms) != 8 || snap.Histograms["h.2"].Count != 1 {
+		t.Errorf("reused snapshot histograms wrong: %d entries", len(snap.Histograms))
+	}
+
+	// New metrics after the warm-up must still appear.
+	r.Counter("c.new").Inc()
+	r.SnapshotInto(&snap)
+	if snap.Counters["c.new"] != 1 {
+		t.Error("SnapshotInto missed a metric registered after warm-up")
 	}
 }

@@ -1,0 +1,199 @@
+// Line-protocol parser: the inverse of internal/telemetry/export's
+// encoder. It accepts the subset the exporter emits — numeric fields
+// (int64 'i' or float64), backslash escapes, nanosecond timestamps —
+// plus booleans for compatibility, and tolerates unknown constructs by
+// rejecting only the line they appear on: a /write batch with one
+// malformed line still lands the rest, with the failure counted.
+
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedPoint is one decoded line. Series is the canonical series key:
+// the measurement plus its sorted tag set in escaped line-protocol
+// form ("core.events_ingested,host=a,proc=gretel,rev=abc"), which is
+// also what /query and /series use as the series identifier.
+type ParsedPoint struct {
+	Series string
+	Fields map[string]float64
+	TimeNS int64
+}
+
+// ParseLine decodes one line-protocol line (no trailing newline).
+func ParseLine(line string) (ParsedPoint, error) {
+	var p ParsedPoint
+	seriesEnd := indexUnescaped(line, ' ')
+	if seriesEnd <= 0 {
+		return p, fmt.Errorf("tsdb: no measurement/field separator in %q", clip(line))
+	}
+	series := line[:seriesEnd]
+	rest := line[seriesEnd+1:]
+
+	// Timestamp: everything after the last unescaped space. Field
+	// string values could in principle contain spaces, but the exporter
+	// never emits strings and we reject them below, so scanning from
+	// the right is safe for the accepted subset.
+	tsStart := strings.LastIndexByte(rest, ' ')
+	if tsStart < 0 {
+		return p, fmt.Errorf("tsdb: missing timestamp in %q", clip(line))
+	}
+	ts, err := strconv.ParseInt(rest[tsStart+1:], 10, 64)
+	if err != nil {
+		return p, fmt.Errorf("tsdb: bad timestamp in %q: %v", clip(line), err)
+	}
+	p.TimeNS = ts
+	fieldsPart := rest[:tsStart]
+
+	p.Series, err = canonicalSeries(series)
+	if err != nil {
+		return p, err
+	}
+
+	p.Fields = make(map[string]float64, 4)
+	for len(fieldsPart) > 0 {
+		end := indexUnescaped(fieldsPart, ',')
+		var one string
+		if end < 0 {
+			one, fieldsPart = fieldsPart, ""
+		} else {
+			one, fieldsPart = fieldsPart[:end], fieldsPart[end+1:]
+		}
+		eq := indexUnescaped(one, '=')
+		if eq <= 0 {
+			return p, fmt.Errorf("tsdb: malformed field %q", clip(one))
+		}
+		key := unescape(one[:eq])
+		val := one[eq+1:]
+		f, err := parseFieldValue(val)
+		if err != nil {
+			return p, fmt.Errorf("tsdb: field %s: %v", key, err)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		p.Fields[key] = f
+	}
+	if len(p.Fields) == 0 {
+		return p, fmt.Errorf("tsdb: no usable fields in %q", clip(line))
+	}
+	return p, nil
+}
+
+// parseFieldValue decodes one field value: int64 ('i' suffix), float,
+// or boolean (mapped to 0/1). Strings are rejected — the telemetry
+// stream is numeric, and accepting strings would make the in-memory
+// columns heterogeneous.
+func parseFieldValue(val string) (float64, error) {
+	if val == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	if val[0] == '"' {
+		return 0, fmt.Errorf("string fields are not supported")
+	}
+	switch val {
+	case "t", "T", "true", "True", "TRUE":
+		return 1, nil
+	case "f", "F", "false", "False", "FALSE":
+		return 0, nil
+	}
+	if last := val[len(val)-1]; last == 'i' {
+		n, err := strconv.ParseInt(val[:len(val)-1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad integer %q", clip(val))
+		}
+		return float64(n), nil
+	} else if last == 'u' {
+		n, err := strconv.ParseUint(val[:len(val)-1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad unsigned %q", clip(val))
+		}
+		return float64(n), nil
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", clip(val))
+	}
+	return f, nil
+}
+
+// canonicalSeries normalizes a measurement+tags prefix: tags sorted by
+// key so the same series always maps to the same key regardless of the
+// client's tag order. The escaped form is preserved — it is the
+// canonical identifier, not a display string.
+func canonicalSeries(series string) (string, error) {
+	first := indexUnescaped(series, ',')
+	if first < 0 {
+		if series == "" {
+			return "", fmt.Errorf("tsdb: empty measurement")
+		}
+		return series, nil
+	}
+	if first == 0 {
+		return "", fmt.Errorf("tsdb: empty measurement in %q", clip(series))
+	}
+	measurement := series[:first]
+	rest := series[first+1:]
+	var tags []string
+	for len(rest) > 0 {
+		end := indexUnescaped(rest, ',')
+		var one string
+		if end < 0 {
+			one, rest = rest, ""
+		} else {
+			one, rest = rest[:end], rest[end+1:]
+		}
+		if indexUnescaped(one, '=') <= 0 {
+			return "", fmt.Errorf("tsdb: malformed tag %q", clip(one))
+		}
+		tags = append(tags, one)
+	}
+	sort.Strings(tags)
+	if len(tags) == 0 {
+		return measurement, nil
+	}
+	return measurement + "," + strings.Join(tags, ","), nil
+}
+
+// indexUnescaped finds the first occurrence of sep not preceded by a
+// backslash, or -1.
+func indexUnescaped(s string, sep byte) int {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case sep:
+			return i
+		}
+	}
+	return -1
+}
+
+// unescape removes backslash escapes.
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// clip bounds error-message excerpts.
+func clip(s string) string {
+	if len(s) > 80 {
+		return s[:77] + "..."
+	}
+	return s
+}

@@ -9,10 +9,8 @@ package wal
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
-	"hash/crc32"
 	"io"
 	"io/fs"
 	"os"
@@ -191,66 +189,8 @@ func (r *Reader) Close() error {
 	return nil
 }
 
-// readRecord reads the next intact record from br, resynchronizing on
-// corruption exactly like agent.readFrame: a bad magic, kind, or
-// length advances the scan one byte; a CRC mismatch skips the record.
-// skipped counts every discarded byte, including a truncated tail —
-// unlike the wire reader, a file has a real end, so a partial record
-// at EOF is drained and counted rather than left pending. The returned
-// body aliases buf (grown as needed); it is valid until the next call.
+// readRecord reads the next intact event record from br; the shared
+// codec (record.go) does the resynchronization.
 func readRecord(br *bufio.Reader, buf []byte) (seq uint64, body []byte, skipped int64, err error) {
-	for {
-		b0, rerr := br.ReadByte()
-		if rerr != nil {
-			return 0, nil, skipped, io.EOF
-		}
-		if b0 != recMagic0 {
-			skipped++
-			continue
-		}
-		hdr, rerr := br.Peek(recHdrLen - 1)
-		if rerr != nil {
-			if len(hdr) == 0 || hdr[0] != recMagic1 {
-				skipped++
-				continue
-			}
-			// A genuine record start torn mid-header: tail garbage.
-			br.Discard(len(hdr))
-			skipped += 1 + int64(len(hdr))
-			return 0, nil, skipped, io.EOF
-		}
-		if hdr[0] != recMagic1 {
-			skipped++
-			continue
-		}
-		if hdr[1] != recKind {
-			skipped++
-			continue
-		}
-		n := binary.BigEndian.Uint32(hdr[10:14])
-		if n > MaxRecord {
-			skipped++
-			continue
-		}
-		seq = binary.BigEndian.Uint64(hdr[2:10])
-		want := binary.BigEndian.Uint32(hdr[14:18])
-		crc := crc32.ChecksumIEEE(hdr[1:14])
-		br.Discard(recHdrLen - 1)
-		if cap(buf) < int(n) {
-			buf = make([]byte, n)
-		}
-		body = buf[:n]
-		got, rerr := io.ReadFull(br, body)
-		if rerr != nil {
-			// Truncated body at end of file: header + partial body is
-			// tail garbage.
-			skipped += recHdrLen + int64(got)
-			return 0, nil, skipped, io.EOF
-		}
-		if crc32.Update(crc, crc32.IEEETable, body) != want {
-			skipped += recHdrLen + int64(n)
-			continue
-		}
-		return seq, body, skipped, nil
-	}
+	return ReadRecord(br, recKind, buf)
 }

@@ -34,10 +34,8 @@ package wal
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -360,19 +358,9 @@ func (l *Log) Stats() Stats { return l.stats }
 // has fully processed.
 func (l *Log) Cursor() uint64 { return l.cursor }
 
-// encodeRecord appends one encoded record to buf and returns it.
+// encodeRecord appends one encoded event record to buf and returns it.
 func encodeRecord(buf []byte, seq uint64, body []byte) []byte {
-	var hdr [recHdrLen]byte
-	hdr[0] = recMagic0
-	hdr[1] = recMagic1
-	hdr[2] = recKind
-	binary.BigEndian.PutUint64(hdr[3:], seq)
-	binary.BigEndian.PutUint32(hdr[11:], uint32(len(body)))
-	crc := crc32.ChecksumIEEE(hdr[2:15])
-	crc = crc32.Update(crc, crc32.IEEETable, body)
-	binary.BigEndian.PutUint32(hdr[15:], crc)
-	buf = append(buf, hdr[:]...)
-	return append(buf, body...)
+	return EncodeRecord(buf, recKind, seq, body)
 }
 
 // Append encodes and appends one event, returning its record sequence.
