@@ -7,6 +7,9 @@ package export
 
 import (
 	"errors"
+	"fmt"
+	"net/url"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +63,13 @@ func Start(opts Options) (*Exporter, error) {
 	if opts.URL == "" {
 		return nil, ErrNoURL
 	}
+	// Normalize: a trailing slash would make the endpoint "…//write",
+	// which ServeMux 301s; Go's client downgrades the redirected POST to
+	// GET and every batch would retry until shed — silent zero delivery.
+	base := strings.TrimRight(opts.URL, "/")
+	if u, err := url.Parse(base); err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("export: invalid URL %q (want e.g. http://host:9187)", opts.URL)
+	}
 	if opts.Interval <= 0 {
 		opts.Interval = time.Second
 	}
@@ -69,7 +79,7 @@ func Start(opts Options) (*Exporter, error) {
 	e := &Exporter{
 		sampler: NewSampler(opts.Registry, opts.Proc),
 		shipper: NewShipper(ShipperConfig{
-			URL:       opts.URL + "/write",
+			URL:       base + "/write",
 			MaxPoints: opts.Buffer,
 		}),
 		interval: opts.Interval,

@@ -340,6 +340,61 @@ func TestExporterEndToEnd(t *testing.T) {
 	}
 }
 
+// TestShipperEmptyBatchShedsNotPanics pins the Enqueue guard: a batch
+// with points > 0 but no bytes must be shed (counted) instead of
+// reaching the delivery loop, whose head-identity check dereferences
+// data[0].
+func TestShipperEmptyBatchShedsNotPanics(t *testing.T) {
+	recv := newChaosReceiver(t, 0)
+	defer recv.kill()
+	s := NewShipper(ShipperConfig{
+		URL:        "http://" + recv.addr + "/write",
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 10 * time.Millisecond,
+	})
+	s.Enqueue(nil, 3)
+	s.Enqueue([]byte{}, 2)
+	// A real batch after the empty ones proves the loop is still alive.
+	buf, _ := AppendPoint(nil, &Point{
+		Name:   "m",
+		Fields: []Field{{Key: "v", Value: 1, Integer: true}},
+		TimeNS: 1,
+	})
+	s.Enqueue(buf, 1)
+	if !s.Drain(2 * time.Second) {
+		t.Fatal("drain timed out — delivery loop dead?")
+	}
+	s.Close()
+	st := s.Stats()
+	if st.Enqueued != 6 || st.Shed != 5 || st.Delivered != 1 {
+		t.Fatalf("ledger %+v, want enqueued=6 shed=5 delivered=1", st)
+	}
+}
+
+// TestStartNormalizesURL pins the /write join: a trailing slash must
+// not produce "//write" (which ServeMux would 301 and the client would
+// downgrade to GET), and a garbage URL must fail Start, not retry
+// forever.
+func TestStartNormalizesURL(t *testing.T) {
+	e, err := Start(Options{
+		URL:      "http://127.0.0.1:9/",
+		Registry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.shipper.url, "http://127.0.0.1:9/write"; got != want {
+		t.Fatalf("shipper url %q, want %q", got, want)
+	}
+	e.Close()
+
+	for _, bad := range []string{"127.0.0.1:9187", "http://", ":::nope"} {
+		if _, err := Start(Options{URL: bad, Registry: telemetry.NewRegistry()}); err == nil {
+			t.Fatalf("Start(%q) accepted, want error", bad)
+		}
+	}
+}
+
 func TestShipperOverflowShedsOldestFirst(t *testing.T) {
 	// Receiver that never answers: everything backs up in the ring.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

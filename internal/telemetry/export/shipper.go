@@ -129,7 +129,10 @@ func (s *Shipper) Enqueue(data []byte, points int) {
 	}
 	s.mu.Lock()
 	s.enqueued += uint64(points)
-	if s.closed {
+	if s.closed || len(data) == 0 {
+		// Closed shipper, or a bodyless batch — which cannot be POSTed
+		// and whose &data[0] would panic the loop's head-identity check:
+		// shed it, counted, never silently dropped.
 		s.shedLocked(uint64(points))
 		s.mu.Unlock()
 		return

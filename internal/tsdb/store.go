@@ -35,6 +35,7 @@ var (
 	mRecovered     = telemetry.GetCounter("tsdb.points_recovered")
 	mBytesSkipped  = telemetry.GetCounter("tsdb.bytes_skipped")
 	mQueries       = telemetry.GetCounter("tsdb.queries")
+	mSegsAbandoned = telemetry.GetCounter("tsdb.segments_abandoned")
 	hWrite         = telemetry.GetHistogram("tsdb.write")
 	hQuery         = telemetry.GetHistogram("tsdb.query")
 )
@@ -166,16 +167,21 @@ func (s *Store) recover() error {
 		return fmt.Errorf("tsdb: listing %s: %w", s.opts.Dir, err)
 	}
 	var buf []byte
-	for _, name := range names {
+	sizes := make([]int64, len(names))
+	counted := make([]bool, len(names))
+	lastIntact := -1 // index of the newest segment holding an intact record
+	for i, name := range names {
 		path := filepath.Join(s.opts.Dir, name)
 		f, err := os.Open(path)
 		if err != nil {
 			continue // unreadable segment: its bytes are simply absent
 		}
 		if fi, err := f.Stat(); err == nil {
+			sizes[i] = fi.Size()
 			s.diskBytes += fi.Size()
 		}
 		s.segs++
+		counted[i] = true
 		br := bufio.NewReaderSize(f, 256<<10)
 		for {
 			seq, body, skipped, rerr := wal.ReadRecord(br, wal.KindPoints, buf)
@@ -186,6 +192,7 @@ func (s *Store) recover() error {
 			if rerr != nil {
 				break
 			}
+			lastIntact = i
 			if cap(body) > cap(buf) {
 				buf = body[:0]
 			}
@@ -197,6 +204,24 @@ func (s *Store) recover() error {
 			mRecovered.Add(uint64(n))
 		}
 		f.Close()
+	}
+	// Trailing segments holding no intact record — a crash created them
+	// and died before the first flush, or tore the first record — must
+	// go: they carry the name rotateIfDue's next O_EXCL create would use
+	// (segName(nextSeq+1), since nothing in them advanced nextSeq), so
+	// leaving them would fail every future Write with EEXIST. Same
+	// discipline as wal.Open; their torn bytes are already counted in
+	// SkippedBytes.
+	for i := lastIntact + 1; i < len(names); i++ {
+		path := filepath.Join(s.opts.Dir, names[i])
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("tsdb: removing recordless segment %s: %w", path, err)
+		}
+		if counted[i] {
+			s.segs--
+			s.diskBytes -= sizes[i]
+		}
+		telemetry.LogFirst("tsdb.recordless", "tsdb: dropped recordless torn segment %s (%d bytes)", path, sizes[i])
 	}
 	s.stats.Segments = s.segs
 	s.stats.Bytes = s.diskBytes
@@ -272,9 +297,11 @@ func (s *Store) Write(body []byte, now time.Time) (accepted, rejected int, err e
 	}
 	rec := wal.EncodeRecord(nil, wal.KindPoints, s.nextSeq+1, body)
 	if _, err := s.bw.Write(rec); err != nil {
+		s.abandonActive()
 		return 0, 0, fmt.Errorf("tsdb: appending: %w", err)
 	}
 	if err := s.bw.Flush(); err != nil {
+		s.abandonActive()
 		return 0, 0, fmt.Errorf("tsdb: flushing: %w", err)
 	}
 	s.nextSeq++
@@ -321,22 +348,56 @@ func (s *Store) rotateIfDue(now time.Time, need int64) error {
 }
 
 // closeActive flushes, fsyncs, and closes the active segment — a
-// rotated-away segment is finished history.
+// rotated-away segment is finished history. The handles are released
+// even on failure: bufio latches its first I/O error (ENOSPC, EIO), so
+// once a Flush fails it fails forever, and keeping s.f/s.bw would pin
+// every later Write to the same sticky error until process restart.
+// Dropping them instead lets the next Write rotate to a fresh segment
+// once the condition clears; the unflushed tail is abandoned (counted
+// below) and whatever partial bytes did land read back as a torn tail.
 func (s *Store) closeActive() error {
 	if s.f == nil {
 		return nil
 	}
-	if err := s.bw.Flush(); err != nil {
-		return fmt.Errorf("tsdb: flushing segment: %w", err)
+	flushErr := s.bw.Flush()
+	var syncErr error
+	if flushErr == nil {
+		syncErr = s.f.Sync()
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("tsdb: syncing segment: %w", err)
-	}
-	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("tsdb: closing segment: %w", err)
-	}
+	closeErr := s.f.Close()
 	s.f, s.bw = nil, nil
+	switch {
+	case flushErr != nil:
+		mSegsAbandoned.Inc()
+		return fmt.Errorf("tsdb: flushing segment: %w", flushErr)
+	case syncErr != nil:
+		mSegsAbandoned.Inc()
+		return fmt.Errorf("tsdb: syncing segment: %w", syncErr)
+	case closeErr != nil:
+		return fmt.Errorf("tsdb: closing segment: %w", closeErr)
+	}
 	return nil
+}
+
+// abandonActive drops a segment whose writer just hit an I/O error:
+// the bufio error is latched, so the handles must go for the store to
+// recover (see closeActive). A segment that never flushed an intact
+// record is also removed from disk — its name is segName(nextSeq+1),
+// exactly what the next rotation's O_EXCL create would use.
+func (s *Store) abandonActive() {
+	if s.f == nil {
+		return
+	}
+	path := s.f.Name()
+	s.f.Close()
+	s.f, s.bw = nil, nil
+	if s.activeBytes == 0 {
+		os.Remove(path)
+		s.segs--
+		s.stats.Segments = s.segs
+	}
+	mSegsAbandoned.Inc()
+	telemetry.LogFirst("tsdb.abandon", "tsdb: abandoned active segment %s after write error", path)
 }
 
 // Query returns series points with from <= t <= to (ns). A zero `to`

@@ -210,6 +210,110 @@ func TestStoreRecoversTornTail(t *testing.T) {
 	}
 }
 
+func TestStoreReopenAfterTornFirstRecord(t *testing.T) {
+	// A crash after rotateIfDue creates a segment but before its first
+	// record flushes leaves a trailing recordless segment named
+	// segName(nextSeq+1) — exactly what the next Write's O_EXCL create
+	// uses. Open must drop it, or every Write after reopen fails EEXIST.
+	for _, tornBytes := range [][]byte{nil, {0xF5, 0x9E, 'P', 0, 1, 2}} {
+		dir := t.TempDir()
+		s, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Write([]byte("m,h=a v=1i 1\n"), time.Unix(0, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Simulate the crash: a segment at the next sequence holding no
+		// intact record (empty, or a torn first header).
+		torn := filepath.Join(dir, segName(s.nextSeq+1))
+		if err := os.WriteFile(torn, tornBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(torn); !os.IsNotExist(err) {
+			t.Fatalf("recordless segment %s survived reopen (stat err %v)", torn, err)
+		}
+		if st := s2.Stats(); st.Segments != 1 || st.Recovered != 1 {
+			t.Fatalf("stats after dropping recordless segment: %+v", st)
+		}
+		if _, _, err := s2.Write([]byte("m,h=a v=2i 2\n"), time.Unix(0, 0)); err != nil {
+			t.Fatalf("write after reopen with %d torn bytes: %v", len(tornBytes), err)
+		}
+		if got := s2.Query("m,h=a", 0, 0); len(got) != 2 {
+			t.Fatalf("query returned %d points, want 2", len(got))
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreRecoversFromWriteError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Write([]byte("m,h=a v=1i 1\n"), time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-segment failure: yank the fd so the next flush fails the way a
+	// transient ENOSPC/EIO would. bufio latches the error; the store must
+	// abandon the segment rather than return the sticky error forever.
+	s.f.Close()
+	if _, _, err := s.Write([]byte("m,h=a v=2i 2\n"), time.Unix(0, 0)); err == nil {
+		t.Fatal("write on a dead fd unexpectedly succeeded")
+	}
+	if s.f != nil {
+		t.Fatal("handles not released after write error")
+	}
+	if _, _, err := s.Write([]byte("m,h=a v=3i 3\n"), time.Unix(0, 0)); err != nil {
+		t.Fatalf("write after abandoning dead segment: %v", err)
+	}
+
+	// First-write failure: a segment that never flushed a record must be
+	// removed on abandon, or the next rotation's O_EXCL create of the
+	// same name fails EEXIST.
+	s.f.Close()
+	if _, _, err := s.Write([]byte("m,h=a v=4i 4\n"), time.Unix(0, 0)); err == nil {
+		t.Fatal("second dead-fd write unexpectedly succeeded")
+	}
+	if err := s.rotateIfDue(time.Unix(0, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.f.Close() // fresh segment, zero records flushed
+	if _, _, err := s.Write([]byte("m,h=a v=5i 5\n"), time.Unix(0, 0)); err == nil {
+		t.Fatal("write into closed fresh segment unexpectedly succeeded")
+	}
+	if _, _, err := s.Write([]byte("m,h=a v=6i 6\n"), time.Unix(0, 0)); err != nil {
+		t.Fatalf("write after abandoning recordless segment: %v", err)
+	}
+
+	// Everything durable must survive a reopen, and the abandoned tails
+	// must not confuse recovery.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Query("m,h=a", 0, 0); len(got) != 3 {
+		t.Fatalf("recovered %d points, want 3 (v=1, v=3, v=6)", len(got))
+	}
+}
+
 func TestStorePartitionRotation(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(Options{Dir: dir, PartitionDur: time.Minute})
