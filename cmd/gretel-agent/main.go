@@ -12,21 +12,36 @@
 //
 //	gretel-agent -analyzer 127.0.0.1:6166 -parallel 100 -faults 4 -duration 5m
 //	gretel-agent -analyzer 127.0.0.1:6166 -telemetry :6168   # live agent metrics
+//	gretel-agent -coord http://127.0.0.1:6170 -name site-a   # federated fleet
 //
 // With -telemetry, monitoring-layer counters (packets seen/parsed,
 // events emitted per service, transport frames/drops) are served at
 // /metrics with pprof at /debug/pprof/.
+//
+// With -coord, the analyzer address is resolved from a gretel-coord
+// coordinator (GET /assign) before every dial attempt instead of taken
+// from -analyzer. All of this deployment's streams share one partition
+// key (-name), because REST/RPC pairing spans nodes: the whole
+// deployment must land on one analyzer. When that analyzer dies the
+// coordinator reassigns the key, the next redial resolves to the
+// replacement, and the spool ring replays everything it retained there.
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
 	"time"
 
 	"gretel/internal/agent"
 	"gretel/internal/cluster"
 	"gretel/internal/faults"
+	"gretel/internal/federation"
 	"gretel/internal/openstack"
 	"gretel/internal/telemetry"
 	"gretel/internal/telemetry/export"
@@ -53,8 +68,43 @@ func main() {
 		exportURL    = flag.String("telemetry-export", "", "ship per-interval telemetry to this gretel-tsdb base URL (empty disables)")
 		exportIvl    = flag.Duration("export-interval", time.Second, "sampling interval for -telemetry-export")
 		exportBuf    = flag.Int("export-buffer", 10000, "points buffered while the TSDB is unreachable (oldest shed beyond this, counted)")
+		coordURL     = flag.String("coord", "", "gretel-coord base URL: resolve the analyzer via GET /assign before every dial, overriding -analyzer (empty disables)")
+		partKey      = flag.String("name", "", "federation partition key reported to -coord (default \"agent\"); one key per deployment, since event pairing spans its nodes")
 	)
 	flag.Parse()
+
+	// Federated mode: ask the coordinator which analyzer owns this
+	// deployment. The resolver runs before every dial attempt, so a
+	// reassignment after analyzer death is picked up by the next redial —
+	// failover is just a redial to the replacement.
+	var resolve func() (string, error)
+	if *coordURL != "" {
+		base := strings.TrimRight(*coordURL, "/")
+		key := *partKey
+		if key == "" {
+			key = "agent"
+		}
+		client := &http.Client{Timeout: 5 * time.Second}
+		resolve = func() (string, error) {
+			resp, err := client.Get(base + "/assign?agent=" + url.QueryEscape(key))
+			if err != nil {
+				return "", err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return "", fmt.Errorf("coord assign: %s", resp.Status)
+			}
+			var asg federation.Assignment
+			if err := json.NewDecoder(resp.Body).Decode(&asg); err != nil {
+				return "", fmt.Errorf("coord assign: decoding: %w", err)
+			}
+			if asg.Addr == "" {
+				return "", fmt.Errorf("coord assign: no address for %q", key)
+			}
+			return asg.Addr, nil
+		}
+		log.Printf("resolving analyzer via coordinator %s (partition key %q)", base, key)
+	}
 
 	if *telAddr != "" {
 		bound, _, err := telemetry.Serve(*telAddr, nil)
@@ -107,7 +157,7 @@ func main() {
 		// Dialing is lazy: the agent may start before the analyzer and
 		// spools frames until it appears (bounded by -connect-timeout).
 		snd, err := agent.DialConfig(agent.SenderConfig{
-			Addr: *addr, Agent: name,
+			Addr: *addr, Resolve: resolve, Agent: name,
 			Ring: *spool, Heartbeat: *heartbeat, DrainTimeout: *drainTimeout,
 		})
 		if err != nil {

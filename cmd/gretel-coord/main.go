@@ -1,0 +1,134 @@
+// Command gretel-coord federates a fleet of gretel analyzers into one
+// cluster: it hands agents their analyzer assignment, detects analyzer
+// death and reroutes, and merges the members' reports, health, and
+// metrics into a single cluster view.
+//
+// Usage:
+//
+//	gretel-coord -listen :6170 \
+//	    -member a,127.0.0.1:6166,http://127.0.0.1:6167 \
+//	    -member b,127.0.0.1:6266,http://127.0.0.1:6267
+//
+// Each -member is name,eventAddr,baseURL: the member id stamped on
+// envelopes, the analyzer's agent-transport listener, and its telemetry
+// HTTP base. Members are plain gretel processes run with -telemetry
+// (and optionally -member NAME so their reports carry the id).
+//
+// Endpoints:
+//
+//	/assign?agent=KEY   which analyzer the agent should stream to
+//	                    (rendezvous-hashed over the live members; 503
+//	                    when none are alive)
+//	/cluster            membership, epochs, cursors, and assignments
+//	/reports            merged report stream in fault-arrival order —
+//	                    member report bytes verbatim as NDJSON
+//	                    (?format=envelope for the ordering metadata)
+//	/metrics            cluster-merged telemetry: every alive member's
+//	                    counters/gauges summed with the coordinator's
+//	                    own federation.* series (?format=json)
+//	/healthz            200 only when every configured member is alive;
+//	                    503 names the dead ones
+//
+// The coordinator probes each member's /healthz every -probe-interval
+// and declares it dead after -down-fails consecutive failures, bumping
+// the assignment epoch; agents started with -coord re-resolve on their
+// next redial and their spool rings replay into the replacement. Member
+// reports are pulled incrementally from each member's /reports log
+// every -pull-interval and merged within a -window reorder horizon, so
+// a federation of one emits byte-identical output to a bare analyzer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"gretel/internal/federation"
+	"gretel/internal/telemetry"
+)
+
+// memberList collects repeatable -member name,eventAddr,baseURL flags.
+type memberList []federation.MemberConfig
+
+func (m *memberList) String() string {
+	parts := make([]string, len(*m))
+	for i, mc := range *m {
+		parts[i] = fmt.Sprintf("%s,%s,%s", mc.Name, mc.EventAddr, mc.BaseURL)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (m *memberList) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("want name,eventAddr,baseURL, got %q", v)
+	}
+	*m = append(*m, federation.MemberConfig{
+		Name:      strings.TrimSpace(parts[0]),
+		EventAddr: strings.TrimSpace(parts[1]),
+		BaseURL:   strings.TrimSpace(parts[2]),
+	})
+	return nil
+}
+
+func main() {
+	var members memberList
+	var (
+		listen    = flag.String("listen", ":6170", "address to serve the coordinator API on")
+		probeIvl  = flag.Duration("probe-interval", 500*time.Millisecond, "member /healthz probe period")
+		downFails = flag.Int("down-fails", 2, "consecutive probe failures before a member is declared dead")
+		pullIvl   = flag.Duration("pull-interval", 250*time.Millisecond, "member /reports pull period")
+		window    = flag.Duration("window", 0, "merge reorder horizon (0 = 2x pull interval)")
+		mergedCap = flag.Int("merged-cap", 65536, "merged reports retained for /reports (oldest evicted beyond this)")
+	)
+	flag.Var(&members, "member", "analyzer member as name,eventAddr,baseURL (repeatable)")
+	flag.Parse()
+	if len(members) == 0 {
+		fmt.Fprintln(os.Stderr, "gretel-coord: at least one -member is required")
+		os.Exit(2)
+	}
+
+	coord, err := federation.NewCoordinator(federation.CoordinatorConfig{
+		Members:       members,
+		ProbeInterval: *probeIvl,
+		DownFails:     *downFails,
+		PullInterval:  *pullIvl,
+		Window:        *window,
+		MergedCap:     *mergedCap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: coord.Mux(telemetry.Default())}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("coordinating %d members on http://%s (assign at /assign, merged reports at /reports)",
+		len(members), ln.Addr())
+	for _, m := range members {
+		log.Printf("  member %s: events %s, telemetry %s", m.Name, m.EventAddr, m.BaseURL)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("interrupt: final pull and merge flush")
+	coord.Close()
+	srv.Close()
+
+	view := coord.Cluster()
+	log.Printf("done: %d reports merged (%d pending flushed), epoch %d", view.Merged, view.Pending, view.Epoch)
+}

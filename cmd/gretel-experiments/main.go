@@ -263,8 +263,24 @@ func main() {
 		})
 	}
 
+	// cluster spins up a real multi-process-shaped fleet (TCP receivers,
+	// HTTP member endpoints, a live coordinator) and kills a member
+	// mid-burst, so it stays out of "all": run it only when named.
+	if *exp == "cluster" {
+		run("cluster", func() {
+			n := events / 8
+			res, err := experiments.Cluster(*seed, n)
+			if err != nil {
+				log.Fatalf("cluster: %v", err)
+			}
+			text := experiments.FormatCluster(res)
+			fmt.Print(text)
+			writeText(*outDir, "cluster", text)
+		})
+	}
+
 	switch *exp {
-	case "all", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "hansel", "overhead", "explain", "reanalyze":
+	case "all", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "hansel", "overhead", "explain", "reanalyze", "cluster":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -45,6 +45,15 @@
 // -replay, a killed run resumes exactly where the log ends and its
 // report output is byte-identical to an uninterrupted run.
 //
+// -member NAME runs the analyzer as one member of a federated fleet
+// (see cmd/gretel-coord): reports are stamped with the member name, and
+// the telemetry address additionally serves the bounded report history
+// at /reports (pulled incrementally by the coordinator) and per-agent
+// stream accounting at /agents. Without -member the analyzer still
+// serves /reports and /agents when -telemetry is set — a federation of
+// one is byte-identical to a bare analyzer — but reports carry no
+// member stamp.
+//
 // -telemetry-export URL ships per-interval telemetry (counter deltas,
 // gauge values, histogram quantiles) to a gretel-tsdb instance as
 // InfluxDB line protocol, sampled every -export-interval and buffered
@@ -59,15 +68,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"gretel/internal/agent"
 	"gretel/internal/core"
+	"gretel/internal/federation"
 	"gretel/internal/fingerprint"
 	"gretel/internal/openstack"
 	"gretel/internal/rca"
@@ -109,6 +121,7 @@ func main() {
 		exportURL  = flag.String("telemetry-export", "", "ship per-interval telemetry to this gretel-tsdb base URL (e.g. http://127.0.0.1:9870; empty disables)")
 		exportIvl  = flag.Duration("export-interval", time.Second, "sampling interval for -telemetry-export")
 		exportBuf  = flag.Int("export-buffer", 10000, "points buffered in memory while the TSDB is unreachable (oldest shed beyond this, counted in export.points_shed)")
+		memberName = flag.String("member", "", "federation member name: stamp reports with this id when running under a gretel-coord fleet (empty = standalone)")
 	)
 	flag.Parse()
 	if err := validateFlags(*backlog, *traceCap, *shards, *ingBatch, *walFsync, *exportIvl, *exportBuf); err != nil {
@@ -121,7 +134,17 @@ func main() {
 		traces = tracestore.New(*traceCap)
 	}
 
+	// Federation surface: the report history a coordinator pulls, and
+	// per-agent stream accounting for ledger checks. Served whenever
+	// telemetry is up — the coordinator probes/pulls these endpoints, so
+	// a member is just an analyzer with -telemetry (the -member stamp is
+	// optional and off by default to keep standalone output identical).
+	var reportLog *federation.ReportLog
+	// recvPtr publishes the receiver to the /agents handler; the
+	// telemetry server starts before the receiver exists.
+	var recvPtr atomic.Pointer[agent.Receiver]
 	if *telAddr != "" {
+		reportLog = federation.NewReportLog(0)
 		var mounts []telemetry.Mount
 		if traces != nil {
 			h := traces.Handler()
@@ -129,14 +152,25 @@ func main() {
 				telemetry.Mount{Pattern: "/traces", Handler: h},
 				telemetry.Mount{Pattern: "/traces/", Handler: h})
 		}
+		mounts = append(mounts,
+			telemetry.Mount{Pattern: "/reports", Handler: reportLog.Handler()},
+			telemetry.Mount{Pattern: "/agents", Handler: http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				recv := recvPtr.Load()
+				if recv == nil {
+					http.Error(w, "no agent receiver (replay mode or still starting)", http.StatusServiceUnavailable)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(recv.AgentStats())
+			})})
 		bound, _, err := telemetry.Serve(*telAddr, nil, mounts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if traces != nil {
-			log.Printf("telemetry on http://%s/metrics (traces at /traces, pprof at /debug/pprof/)", bound)
+			log.Printf("telemetry on http://%s/metrics (traces at /traces, reports at /reports, pprof at /debug/pprof/)", bound)
 		} else {
-			log.Printf("telemetry on http://%s/metrics (pprof at /debug/pprof/)", bound)
+			log.Printf("telemetry on http://%s/metrics (reports at /reports, pprof at /debug/pprof/)", bound)
 		}
 	}
 
@@ -178,7 +212,7 @@ func main() {
 	analyzer := core.New(lib, core.Config{
 		Alpha: *alpha, Prate: *prate, T: *horizonT, PerfDetection: *perf,
 		DetectWorkers: *workers, DetectBacklog: *backlog, DetectShed: *shed,
-		IngestShards: *shards, IngestBatch: *ingBatch,
+		IngestShards: *shards, IngestBatch: *ingBatch, Member: *memberName,
 	})
 	// Root-cause analysis over the distributed state the agents stream in.
 	store := rca.NewStore()
@@ -196,23 +230,34 @@ func main() {
 	// the durable cursor). Report emission across a crash boundary is
 	// at-least-once — the WAL itself is exactly-once.
 	var bootQuiet atomic.Bool
-	var emit func(*core.Report)
+	var sinks []func(*core.Report)
 	if !*quiet {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
-			emit = func(rep *core.Report) {
+			sinks = append(sinks, func(rep *core.Report) {
 				if err := enc.Encode(rep); err != nil {
 					log.Printf("encoding report: %v", err)
 				}
-			}
+			})
 		} else {
-			emit = printReport
+			sinks = append(sinks, printReport)
 		}
+	}
+	if reportLog != nil {
+		// The federation log honors bootQuiet too: reports at or below
+		// the durable cursor were already pulled by the coordinator
+		// before the crash, so re-recording them would re-merge them
+		// under the fresh boot id.
+		sinks = append(sinks, reportLog.Record)
+	}
+	if len(sinks) > 0 {
 		analyzer.OnReport(func(rep *core.Report) {
 			if bootQuiet.Load() {
 				return
 			}
-			emit(rep)
+			for _, sink := range sinks {
+				sink(rep)
+			}
 		})
 	}
 
@@ -298,7 +343,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("analyzer listening on %s (alpha=%d)", recv.Addr(), analyzer.Config().Alpha)
+		recvPtr.Store(recv)
+		if *memberName != "" {
+			log.Printf("analyzer listening on %s (alpha=%d, federation member %q)", recv.Addr(), analyzer.Config().Alpha, *memberName)
+		} else {
+			log.Printf("analyzer listening on %s (alpha=%d)", recv.Addr(), analyzer.Config().Alpha)
+		}
 
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
@@ -336,6 +386,22 @@ func main() {
 	if res.Gaps > 0 {
 		fmt.Printf("gaps:      %d monitoring-plane gaps (%d frames lost, %d stale pairs flushed)\n",
 			res.Gaps, res.Missed, st.PairsFlushed)
+	}
+	if recv := recvPtr.Load(); recv != nil {
+		// Per-agent stream ledger: last_seq - missing - dups = events this
+		// receiver actually admitted from that agent. The federation
+		// smoke asserts zero silent loss from these lines.
+		stats := recv.AgentStats()
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			as := stats[name]
+			fmt.Printf("agent:     %s last_seq=%d missing=%d dups=%d down=%v\n",
+				name, as.LastSeq, as.Missing, as.Dups, as.Down)
+		}
 	}
 	if st.SnapshotsShed > 0 {
 		fmt.Printf("shed:      %d snapshots dropped under backpressure\n", st.SnapshotsShed)

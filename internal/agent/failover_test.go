@@ -1,0 +1,219 @@
+package agent
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRedialToReplacementAdoptsSession is the failover regression: an
+// agent whose analyzer dies redials a *replacement* receiver that never
+// saw its history. The ring has long since dropped the early frames
+// (consumed by the dead analyzer), so the replacement's first payload
+// frame carries a high sequence number — before session hellos, the
+// receiver misread the whole unseen prefix as a gap. With the session
+// base adopted, the replacement reports zero missing frames.
+func TestRedialToReplacementAdoptsSession(t *testing.T) {
+	recvA, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvB, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvB.Close()
+
+	var target atomic.Value
+	target.Store(recvA.Addr())
+	cfg := fastSender("", "fed-agent")
+	cfg.Addr = ""
+	cfg.Resolve = func() (string, error) { return target.Load().(string), nil }
+	cfg.Ring = 8 // retain only a short suffix: the prefix is unrecoverable
+	s, err := DialConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed in small drained batches so nothing sheds while A is alive:
+	// the prefix must be *consumed* by the dead analyzer, not lost.
+	const total = 100
+	for i := uint64(1); i <= total; i++ {
+		s.Send(sampleEvent(i))
+		if i%4 == 0 {
+			if err := s.Drain(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if shed := s.Stats().Shed; shed != 0 {
+		t.Fatalf("test setup shed %d frames", shed)
+	}
+	gotA := 0
+	for timeout := time.After(5 * time.Second); gotA < total; {
+		select {
+		case <-recvA.Events():
+			gotA++
+		case <-timeout:
+			t.Fatalf("receiver A got %d/%d events", gotA, total)
+		}
+	}
+
+	// Fail the analyzer over: reassign first, then kill A so the very
+	// next redial resolves to the replacement.
+	target.Store(recvB.Addr())
+	recvA.Close()
+
+	// The replacement receives the ring suffix; heartbeats then confirm
+	// the high-water mark. Nothing in the unseen prefix may be counted
+	// as missing.
+	deadline := time.After(10 * time.Second)
+	for {
+		st, ok := recvB.AgentStats()["fed-agent"]
+		if ok && st.LastSeq == total {
+			if st.Missing != 0 {
+				t.Fatalf("replacement counted %d missing frames from the unseen prefix", st.Missing)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("replacement never caught up: %+v", st)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	replayedAtB := 0
+	for {
+		select {
+		case ev := <-recvB.Events():
+			if ev.Seq <= total-uint64(cfg.Ring) {
+				t.Fatalf("replacement received seq %d, below the retained suffix", ev.Seq)
+			}
+			replayedAtB++
+			continue
+		case <-time.After(50 * time.Millisecond):
+		}
+		break
+	}
+	if replayedAtB == 0 {
+		t.Fatal("ring suffix was not replayed to the replacement")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgentRestartStartsNewSession: a restarted agent re-registers with
+// a fresh session and a sequence space starting over at 1. The receiver
+// must accept the new stream rather than deduplicating it against the
+// dead session's high-water mark.
+func TestAgentRestartStartsNewSession(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	cfg := fastSender(recv.Addr(), "phoenix")
+	cfg.Session = 1
+	s1, err := DialConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		s1.Send(sampleEvent(i))
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for got := 0; got < 50; got++ {
+		select {
+		case <-recv.Events():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("first incarnation delivered %d/50", got)
+		}
+	}
+
+	cfg.Session = 2
+	s2, err := DialConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := uint64(1); i <= 10; i++ {
+		s2.Send(sampleEvent(i))
+	}
+	if err := s2.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for got := 0; got < 10; got++ {
+		select {
+		case <-recv.Events():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("restarted agent delivered %d/10 — deduplicated against the old session", got)
+		}
+	}
+	st := recv.AgentStats()["phoenix"]
+	if st.Dups != 0 || st.Missing != 0 {
+		t.Fatalf("restart accounting polluted: %+v", st)
+	}
+}
+
+// TestReceiverHelloSessionStateMachine pins the tracker transitions
+// directly: reconnect vs shed-while-away vs new session vs legacy hello.
+func TestReceiverHelloSessionStateMachine(t *testing.T) {
+	recv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	const a = "sm-agent"
+	recv.hello(a, 7, 10) // first contact mid-stream: adopt base 10
+	if st := recv.AgentStats()[a]; st.LastSeq != 10 || st.Missing != 0 {
+		t.Fatalf("after first hello: %+v", st)
+	}
+	if !recv.admit(a, 11) {
+		t.Fatal("seq 11 rejected after base 10")
+	}
+	if recv.admit(a, 5) {
+		t.Fatal("below-base frame not deduplicated")
+	}
+	recv.hello(a, 7, 10) // same-session reconnect, base behind: no-op
+	if st := recv.AgentStats()[a]; st.LastSeq != 11 || st.Missing != 0 {
+		t.Fatalf("after reconnect hello: %+v", st)
+	}
+	recv.hello(a, 7, 20) // same session, base advanced: 12..20 shed = real gap
+	if st := recv.AgentStats()[a]; st.LastSeq != 20 || st.Missing != 9 {
+		t.Fatalf("after shed hello: %+v", st)
+	}
+	recv.hello(a, 8, 3) // new session: adopt, keep lifetime totals
+	st := recv.AgentStats()[a]
+	if st.LastSeq != 3 || st.Missing != 9 {
+		t.Fatalf("after new-session hello: %+v", st)
+	}
+	if !recv.admit(a, 4) {
+		t.Fatal("new session's frames rejected")
+	}
+	recv.hello(a, 0, 0) // legacy sender: no session info, no state change
+	if st := recv.AgentStats()[a]; st.LastSeq != 4 {
+		t.Fatalf("legacy hello mutated state: %+v", st)
+	}
+}
+
+func TestDialConfigNeedsAddrOrResolver(t *testing.T) {
+	if _, err := DialConfig(SenderConfig{Agent: "x"}); err == nil {
+		t.Fatal("sender with neither Addr nor Resolve accepted")
+	}
+	s, err := DialConfig(SenderConfig{Agent: "x", Resolve: func() (string, error) { return "", nil }})
+	if err != nil {
+		t.Fatalf("resolver-only sender rejected: %v", err)
+	}
+	s.Close()
+}

@@ -54,9 +54,20 @@ func validKind(k byte) bool {
 }
 
 // helloBody identifies the sending agent on a fresh connection, keying
-// the receiver's sequence tracking across reconnects.
+// the receiver's sequence tracking across reconnects. Session names one
+// sender incarnation: it changes when the agent process restarts, so a
+// receiver can tell "same stream, reconnected" (missing sequence numbers
+// are losses) from "new stream" (an agent restart, or an agent redialing
+// a replacement analyzer that never saw the old history — in neither
+// case did this receiver lose anything). Base is the sequence number
+// immediately before the first frame this connection can replay; frames
+// at or below it are unrecoverable on this session and are the
+// receiver's starting point, not a gap. Zero values keep the legacy
+// (session-less) behavior for old senders.
 type helloBody struct {
-	Agent string `json:"agent"`
+	Agent   string `json:"agent"`
+	Session uint64 `json:"session,omitempty"`
+	Base    uint64 `json:"base,omitempty"`
 }
 
 // heartbeatBody rides in liveness frames. The frame's sequence number is

@@ -63,6 +63,19 @@ var (
 type SenderConfig struct {
 	// Addr is the analyzer's event listener address.
 	Addr string
+	// Resolve, when set, is consulted before every dial attempt and
+	// overrides Addr — the federation hook: a coordinator can move the
+	// agent to a replacement analyzer and the next redial lands there,
+	// with the spill ring replaying everything retained. Errors and
+	// empty results fall back to Addr (or count as a failed attempt when
+	// Addr is empty) and go through the normal backoff.
+	Resolve func() (string, error)
+	// Session names this sender incarnation in hello frames (default:
+	// wall-clock nanoseconds at Dial). A receiver that has never seen
+	// the session — a fresh replacement analyzer, or the same analyzer
+	// after an agent restart — adopts the hello's base sequence instead
+	// of misreading the unseen history as a gap.
+	Session uint64
 	// Agent names this agent in hello/heartbeat frames; the receiver
 	// keys sequence tracking and liveness by it. Default "agent".
 	Agent string
@@ -118,6 +131,9 @@ func (c *SenderConfig) defaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Session == 0 {
+		c.Session = uint64(time.Now().UnixNano())
+	}
 	if c.Dialer == nil {
 		c.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, timeout)
@@ -169,6 +185,16 @@ type Sender struct {
 	connected atomic.Bool
 	firstConn chan struct{}
 	connOnce  sync.Once
+	lastAddr  atomic.Value // string: most recently resolved target
+}
+
+// target is the address the sender is currently aimed at — the last
+// Resolve result, falling back to the static Addr. For messages.
+func (s *Sender) target() string {
+	if a, ok := s.lastAddr.Load().(string); ok && a != "" {
+		return a
+	}
+	return s.cfg.Addr
 }
 
 // Dial starts a sender for the analyzer's event listener with default
@@ -182,8 +208,8 @@ func Dial(addr string) (*Sender, error) {
 // DialConfig starts a sender with explicit configuration.
 func DialConfig(cfg SenderConfig) (*Sender, error) {
 	cfg.defaults()
-	if cfg.Addr == "" {
-		return nil, fmt.Errorf("agent: sender needs an address")
+	if cfg.Addr == "" && cfg.Resolve == nil {
+		return nil, fmt.Errorf("agent: sender needs an address or a resolver")
 	}
 	s := &Sender{
 		cfg:       cfg,
@@ -205,7 +231,7 @@ func (s *Sender) WaitConnected(timeout time.Duration) error {
 	case <-s.firstConn:
 		return nil
 	case <-time.After(timeout):
-		return fmt.Errorf("agent: no connection to %s within %v: %v", s.cfg.Addr, timeout, s.err())
+		return fmt.Errorf("agent: no connection to %s within %v: %v", s.target(), timeout, s.err())
 	}
 }
 
@@ -264,7 +290,7 @@ func (s *Sender) enqueue(kind byte, v any) {
 			s.cursor = old.seq + 1
 			mFramesShed.Inc()
 			telemetry.LogFirst("transport.shed",
-				"agent: spill ring full (%d frames) while disconnected from %s; shedding oldest", len(s.ring), s.cfg.Addr)
+				"agent: spill ring full (%d frames) while disconnected from %s; shedding oldest", len(s.ring), s.target())
 		}
 	}
 	s.ring[(s.head+s.n)%len(s.ring)] = fr
@@ -293,6 +319,21 @@ func (s *Sender) takeFrame() (wireFrame, bool) {
 	fr := s.ring[(s.head+int(s.cursor-oldest))%len(s.ring)]
 	s.cursor++
 	return fr, true
+}
+
+// helloBase is the sequence number immediately before the first frame
+// this connection can replay: the oldest retained ring entry minus one,
+// or the full assigned space when the ring is empty. Frames at or below
+// it are gone from this sender for good (shed, or consumed by a previous
+// session) — a receiver meeting this session for the first time starts
+// counting after it instead of calling the unseen prefix a gap.
+func (s *Sender) helloBase() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return s.ring[s.head].seq - 1
+	}
+	return s.nextSeq
 }
 
 // rewind points the write cursor at the oldest retained frame — called
@@ -357,12 +398,14 @@ func (s *Sender) run() {
 		}
 		s.setErr(err)
 		telemetry.LogFirst("transport.send",
-			"agent: connection to %s failed: %v; spooling and redialing", s.cfg.Addr, err)
+			"agent: connection to %s failed: %v; spooling and redialing", s.target(), err)
 	}
 }
 
 // dialLoop dials until it succeeds or the sender stops, backing off
-// exponentially with jitter between attempts.
+// exponentially with jitter between attempts. The target address is
+// re-resolved before every attempt, so a reassignment takes effect on
+// the very next redial.
 func (s *Sender) dialLoop(rng *rand.Rand) net.Conn {
 	backoff := s.cfg.BackoffMin
 	for {
@@ -371,13 +414,29 @@ func (s *Sender) dialLoop(rng *rand.Rand) net.Conn {
 			return nil
 		default:
 		}
-		conn, err := s.cfg.Dialer(s.cfg.Addr, s.cfg.DialTimeout)
+		addr := s.cfg.Addr
+		var err error
+		if s.cfg.Resolve != nil {
+			if a, rerr := s.cfg.Resolve(); rerr == nil && a != "" {
+				addr = a
+			} else if addr == "" {
+				if rerr == nil {
+					rerr = fmt.Errorf("agent: resolver returned no address")
+				}
+				err = rerr
+			}
+		}
 		if err == nil {
-			return conn
+			s.lastAddr.Store(addr)
+			var conn net.Conn
+			conn, err = s.cfg.Dialer(addr, s.cfg.DialTimeout)
+			if err == nil {
+				return conn
+			}
 		}
 		s.setErr(err)
 		telemetry.LogFirst("transport.dial",
-			"agent: dialing %s: %v; retrying with backoff", s.cfg.Addr, err)
+			"agent: dialing %s: %v; retrying with backoff", s.target(), err)
 		delay := backoff + time.Duration(rng.Int63n(int64(backoff)+1))
 		select {
 		case <-s.stop:
@@ -399,7 +458,7 @@ func (s *Sender) stream(conn net.Conn) error {
 		_, err := bw.Write(frame)
 		return err
 	}
-	hello, _ := json.Marshal(helloBody{Agent: s.cfg.Agent})
+	hello, _ := json.Marshal(helloBody{Agent: s.cfg.Agent, Session: s.cfg.Session, Base: s.helloBase()})
 	if err := write(encodeFrame(frameHello, 0, hello)); err != nil {
 		return err
 	}
@@ -469,7 +528,7 @@ func (s *Sender) Drain(timeout time.Duration) error {
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("agent: drain timed out with %d frames unflushed (analyzer %s unreachable?)",
-				target-flushed, s.cfg.Addr)
+				target-flushed, s.target())
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -541,8 +600,11 @@ type AgentStat struct {
 	Down bool
 }
 
-// agentState tracks one agent across connections.
+// agentState tracks one agent across connections. session pins the
+// sender incarnation the sequence accounting belongs to; counters are
+// receiver-lifetime totals and survive session changes.
 type agentState struct {
+	session  uint64
 	lastSeq  uint64
 	missing  uint64
 	dups     uint64
@@ -570,16 +632,19 @@ type ReceiverConfig struct {
 // deduplicated per agent, and losses surface as Health records rather
 // than silence.
 type Receiver struct {
-	ln      net.Listener
-	cfg     ReceiverConfig
-	events  chan trace.Event
-	states  chan StateUpdate
-	health  chan Health
-	wg      sync.WaitGroup
-	closing chan struct{}
+	ln        net.Listener
+	cfg       ReceiverConfig
+	events    chan trace.Event
+	states    chan StateUpdate
+	health    chan Health
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
 
-	mu     sync.Mutex
-	agents map[string]*agentState
+	mu       sync.Mutex
+	agents   map[string]*agentState
+	conns    map[net.Conn]struct{}
+	shutdown bool
 }
 
 // Listen starts a receiver on addr with default configuration (no
@@ -605,6 +670,7 @@ func ListenConfig(cfg ReceiverConfig) (*Receiver, error) {
 		health:  make(chan Health, 256),
 		closing: make(chan struct{}),
 		agents:  make(map[string]*agentState),
+		conns:   make(map[net.Conn]struct{}),
 	}
 	r.wg.Add(1)
 	go r.acceptLoop()
@@ -670,6 +736,14 @@ func (r *Receiver) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		r.mu.Lock()
+		if r.shutdown {
+			r.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
 		r.wg.Add(1)
 		go r.serve(conn)
 	}
@@ -702,6 +776,41 @@ func (r *Receiver) touchLocked(st *agentState, agent string, now time.Time) {
 		st.down = false
 		mAgentUp.Inc()
 		r.emit(Health{Kind: HealthUp, Agent: agent, At: now})
+	}
+}
+
+// hello folds a connection's hello frame into the agent's tracker. A
+// session this receiver has not seen — the agent restarted, or it was
+// reassigned here from another analyzer whose history we never received
+// — adopts the hello's base sequence outright: the stream genuinely
+// starts there, and the unseen prefix is not this receiver's loss. A
+// repeated hello for the session already being tracked is a reconnect;
+// a base that moved past lastSeq means frames were shed from the ring
+// while disconnected and can never be replayed, which is a real gap.
+// Session-less hellos (legacy senders) keep the old behavior, where
+// admit treats any backward jump as duplicates and any forward jump as
+// a gap.
+func (r *Receiver) hello(agent string, session, base uint64) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(agent)
+	r.touchLocked(st, agent, now)
+	if session == 0 {
+		return
+	}
+	if st.session != session {
+		st.session = session
+		st.lastSeq = base
+		return
+	}
+	if base > st.lastSeq {
+		miss := base - st.lastSeq
+		st.lastSeq = base
+		st.missing += miss
+		mGaps.Inc()
+		mFramesMissed.Add(miss)
+		r.emit(Health{Kind: HealthGap, Agent: agent, Missing: miss, At: now})
 	}
 }
 
@@ -783,7 +892,12 @@ func (r *Receiver) liveness() {
 
 func (r *Receiver) serve(conn net.Conn) {
 	defer r.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+	}()
 	mActiveConns.Add(1)
 	defer mActiveConns.Add(-1)
 	br := bufio.NewReaderSize(conn, 64<<10)
@@ -815,7 +929,7 @@ func (r *Receiver) serve(conn net.Conn) {
 			if json.Unmarshal(body, &h) == nil && h.Agent != "" {
 				agent = h.Agent
 			}
-			r.admit(agent, 0)
+			r.hello(agent, h.Session, h.Base)
 		case frameHeartbeat:
 			var h heartbeatBody
 			if json.Unmarshal(body, &h) == nil && h.Agent != "" {
@@ -860,11 +974,26 @@ func (r *Receiver) serve(conn net.Conn) {
 }
 
 // Close stops accepting, terminates connection readers (even ones
-// blocked handing frames to a consumer that already stopped reading),
-// and closes the event, state, and health channels once they exit.
+// blocked handing frames to a consumer that already stopped reading, or
+// fed a steady heartbeat stream that would otherwise keep them reading
+// forever), and closes the event, state, and health channels once they
+// exit. Senders see the closed connections as a failure and redial —
+// with a Resolve hook, onto whatever replacement they are assigned.
+// Idempotent: failover paths close a dead member's receiver from both
+// the kill site and the shutdown sweep.
 func (r *Receiver) Close() {
+	r.closeOnce.Do(r.close)
+}
+
+func (r *Receiver) close() {
 	close(r.closing)
 	r.ln.Close()
+	r.mu.Lock()
+	r.shutdown = true
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
 	r.wg.Wait()
 	close(r.events)
 	close(r.states)

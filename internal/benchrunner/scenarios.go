@@ -12,12 +12,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"gretel/internal/agent"
 	"gretel/internal/chaos"
 	"gretel/internal/core"
 	"gretel/internal/experiments"
+	"gretel/internal/federation"
 	"gretel/internal/fingerprint"
 	"gretel/internal/replay"
 	"gretel/internal/scenario"
@@ -53,6 +55,9 @@ func init() {
 	})
 	Register("export-overhead", func() Scenario {
 		return &exportScenario{desc: "telemetry export (registry sampling + line-protocol shipping to a live receiver) on vs off on the canonical fault-free stream"}
+	})
+	Register("cluster-soak", func() Scenario {
+		return &clusterScenario{desc: "federated fleet soak: two analyzers, rendezvous-partitioned deployments, mid-burst member kill, spool-replay failover, merged-report ledger"}
 	})
 }
 
@@ -546,4 +551,250 @@ func (s *table1Scenario) Cases() []Case {
 			return Metrics{"fpmax": float64(res.FPMax)}, nil
 		},
 	}}
+}
+
+// --- cluster-soak: federated failover + merged-report ledger ---
+
+type clusterScenario struct {
+	desc    string
+	streams [][]trace.Event
+	lib     *fingerprint.Library
+}
+
+func (s *clusterScenario) Name() string        { return "cluster-soak" }
+func (s *clusterScenario) Description() string { return s.desc }
+func (s *clusterScenario) Teardown() error     { s.streams, s.lib = nil, nil; return nil }
+
+func (s *clusterScenario) Setup(opts Options) error {
+	n := 6000
+	if opts.Short {
+		n = 2500
+	}
+	// One event stream per monitored deployment: a deployment's pairing
+	// spans its nodes, so each stream is one federation partition key.
+	s.streams = nil
+	for i := 0; i < 2; i++ {
+		s.streams = append(s.streams, replay.Synthesize(replay.StreamConfig{
+			Events: n, Concurrency: 40, FaultEvery: 400, Seed: int64(21 + i),
+		}))
+	}
+	s.lib = scenario.CoreLibrary()
+	return nil
+}
+
+func (s *clusterScenario) Cases() []Case {
+	return []Case{
+		{Name: "steady", Run: func() (Metrics, error) { return s.runFleet(false) }},
+		{Name: "failover", Run: func() (Metrics, error) { return s.runFleet(true) }},
+	}
+}
+
+// fedMember is one in-process analyzer member: receiver, analyzer,
+// report log, and the transport-drive goroutine.
+type fedMember struct {
+	name string
+	addr string
+	recv *agent.Receiver
+	core *core.Analyzer
+	log  *federation.ReportLog
+	done chan struct{}
+}
+
+// runFleet stands up a two-member analyzer fleet, streams each
+// deployment to its rendezvous-assigned member, optionally kills the
+// first deployment's owner mid-burst (the spool ring replays the whole
+// stream into the survivor on the next resolve), and closes the run
+// with two ledgers: per-stream zero silent loss at the final owner, and
+// produced == merged with zero dups across the member report logs.
+func (s *clusterScenario) runFleet(kill bool) (Metrics, error) {
+	names := []string{"alpha", "beta"}
+	members := map[string]*fedMember{}
+	for _, name := range names {
+		recv, err := agent.ListenConfig(agent.ReceiverConfig{
+			Addr: "127.0.0.1:0", ReadTimeout: 100 * time.Millisecond,
+		})
+		if err != nil {
+			for _, m := range members {
+				m.recv.Close()
+			}
+			return nil, err
+		}
+		m := &fedMember{
+			name: name, addr: recv.Addr(), recv: recv,
+			core: core.New(s.lib, core.Config{Alpha: 256, Member: name}),
+			log:  federation.NewReportLog(0),
+			done: make(chan struct{}),
+		}
+		m.core.OnReport(m.log.Record)
+		members[name] = m
+		go func(m *fedMember) {
+			replay.DriveTransport(m.core, m.recv, nil)
+			close(m.done)
+		}(m)
+	}
+
+	// The coordinator's control plane in miniature: rendezvous assignment
+	// over the alive set, consulted by every sender redial.
+	var mu sync.Mutex
+	alive := append([]string(nil), names...)
+	resolve := func(key string) func() (string, error) {
+		return func() (string, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			owner := federation.Assign(key, alive)
+			if owner == "" {
+				return "", fmt.Errorf("no alive members")
+			}
+			return members[owner].addr, nil
+		}
+	}
+	currentOwner := func(key string) *fedMember {
+		mu.Lock()
+		defer mu.Unlock()
+		return members[federation.Assign(key, alive)]
+	}
+
+	victim := federation.Assign("dep-1", names)
+	// The kill is volume-deterministic so the committed bench numbers
+	// are stable: every sender pauses at half stream, the controller
+	// waits until the victim has admitted each paused first half, kills
+	// it, and resumes — the survivor then replays exactly the retained
+	// halves plus the back halves instead of a scheduling-dependent cut.
+	halfDone := make(chan string, len(s.streams))
+	resume := make(chan struct{})
+
+	start := time.Now()
+	errs := make(chan error, 2*len(s.streams))
+	var wg sync.WaitGroup
+	for i := range s.streams {
+		key, stream := fmt.Sprintf("dep-%d", i+1), s.streams[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snd, err := agent.DialConfig(agent.SenderConfig{
+				Resolve: resolve(key), Agent: key,
+				Ring:       1 << 15, // retain the whole stream: failover replays everything
+				Heartbeat:  5 * time.Millisecond,
+				BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+				WriteTimeout: 2 * time.Second, DrainTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer snd.Close()
+			for j := range stream {
+				snd.Send(stream[j])
+				if kill && j == len(stream)/2 {
+					halfDone <- key
+					<-resume
+				}
+				if j%16 == 15 {
+					// Let the writer flush so frames actually reach the
+					// owner instead of piling up in the spool.
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				st := currentOwner(key).recv.AgentStats()[key]
+				if st.LastSeq >= uint64(len(stream)) {
+					if st.Missing != 0 || st.Dups != 0 {
+						errs <- fmt.Errorf("%s: silent loss at final owner: missing=%d dups=%d", key, st.Missing, st.Dups)
+					}
+					return
+				}
+				if time.Now().After(deadline) {
+					errs <- fmt.Errorf("%s: owner high-water stuck at %d/%d", key, st.LastSeq, len(stream))
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	if kill {
+		paused := map[string]int{}
+		for range s.streams {
+			key := <-halfDone
+			for i := range s.streams {
+				if key == fmt.Sprintf("dep-%d", i+1) {
+					paused[key] = len(s.streams[i])/2 + 1
+				}
+			}
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for key, sent := range paused {
+			if currentOwner(key).name != victim {
+				continue
+			}
+			for currentOwner(key).recv.AgentStats()[key].LastSeq < uint64(sent) {
+				if time.Now().After(deadline) {
+					errs <- fmt.Errorf("%s: victim never admitted the first half", key)
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		mu.Lock()
+		keep := alive[:0]
+		for _, n := range alive {
+			if n != victim {
+				keep = append(keep, n)
+			}
+		}
+		alive = keep
+		mu.Unlock()
+		members[victim].recv.Close()
+		close(resume)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, name := range names {
+		members[name].recv.Close() // idempotent for the killed victim
+		<-members[name].done
+	}
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+
+	// Merge the member logs exactly as the coordinator does and close
+	// the report ledger: every produced report merges, none twice.
+	produced, merged := 0, 0
+	mrg := federation.NewMerger(federation.MergerConfig{
+		Window: time.Second, Emit: func(federation.Envelope) { merged++ },
+	})
+	for _, name := range names {
+		page := members[name].log.Page(0)
+		produced += len(page.Reports)
+		for _, e := range page.Reports {
+			mrg.Add(federation.Envelope{Member: name, Epoch: 1, Seq: e.Seq, At: e.At, Report: e.Report})
+		}
+	}
+	mrg.Flush()
+	if st := mrg.Stats(); st.Dups != 0 || int(st.Merged) != merged || merged != produced {
+		return nil, fmt.Errorf("merge ledger broken: produced %d, merged %d, stats %+v", produced, merged, st)
+	}
+
+	totalSent := 0
+	for _, stream := range s.streams {
+		totalSent += len(stream)
+	}
+	var delivered uint64
+	for _, m := range members {
+		delivered += m.core.Stats.Events
+	}
+	metrics := Metrics{
+		EventsPerOp:   float64(totalSent),
+		"delivered/s": float64(delivered) / elapsed.Seconds(),
+		"delivered":   float64(delivered),
+		"reports":     float64(produced),
+		"merged":      float64(merged),
+	}
+	if kill {
+		// The survivor re-analyzes the victim's replayed prefix; the
+		// overlap is the failover's at-least-once cost, surfaced here.
+		metrics["replayed"] = float64(delivered) - float64(totalSent)
+	}
+	return metrics, nil
 }

@@ -171,8 +171,14 @@ type Fabric struct {
 	// packets to or from that node.
 	extraLatency map[string]time.Duration
 
-	nextConn uint64
-	nextPort int
+	nextConn  uint64
+	nextPort  int
+	usedPorts map[int]bool
+
+	// PortReuse counts EphemeralPort calls that had to hand out an
+	// in-use port because the whole range was live — callers leaking
+	// ports, or a soak with >28k concurrent connections.
+	PortReuse uint64
 
 	// Delivered counts packets handed to destinations; Bytes sums their
 	// payload sizes.
@@ -188,7 +194,8 @@ func NewFabric(sim *simclock.Sim, seed int64) *Fabric {
 		rng:          rand.New(rand.NewSource(seed)),
 		BaseLatency:  300 * time.Microsecond,
 		extraLatency: make(map[string]time.Duration),
-		nextPort:     33000,
+		nextPort:     ephemeralMin,
+		usedPorts:    make(map[int]bool),
 	}
 }
 
@@ -281,14 +288,46 @@ func (f *Fabric) NewConnID() uint64 {
 	return f.nextConn
 }
 
-// EphemeralPort allocates a client-side port number.
+// The simulated client-side port range, matching the stock
+// net.ipv4.ip_local_port_range on the paper's deployment hosts.
+const (
+	ephemeralMin = 33000
+	ephemeralMax = 60999
+)
+
+// EphemeralPort allocates a client-side port number. Ports stay
+// allocated — and are skipped when the counter wraps — until the
+// connection using them closes and the caller hands them back via
+// ReleasePort; reusing a port while its connection is still live would
+// let two connections share an (addr, port) pairing key at the taps.
+// If every port in the range is live, the next port is reused anyway
+// (counted in PortReuse) rather than wedging the simulation.
 func (f *Fabric) EphemeralPort() int {
+	for i := 0; i < ephemeralMax-ephemeralMin+1; i++ {
+		f.nextPort++
+		if f.nextPort > ephemeralMax {
+			f.nextPort = ephemeralMin
+		}
+		if !f.usedPorts[f.nextPort] {
+			f.usedPorts[f.nextPort] = true
+			return f.nextPort
+		}
+	}
+	f.PortReuse++
 	f.nextPort++
-	if f.nextPort > 60999 {
-		f.nextPort = 33000
+	if f.nextPort > ephemeralMax {
+		f.nextPort = ephemeralMin
 	}
 	return f.nextPort
 }
+
+// ReleasePort returns an ephemeral port to the free pool once the
+// connection using it has closed. Releasing an already-free port is a
+// no-op.
+func (f *Fabric) ReleasePort(p int) { delete(f.usedPorts, p) }
+
+// PortsInUse reports how many ephemeral ports are currently allocated.
+func (f *Fabric) PortsInUse() int { return len(f.usedPorts) }
 
 // ErrNodeDown is returned by Send when the destination is unreachable.
 type ErrNodeDown struct{ Node string }
@@ -315,7 +354,14 @@ func (f *Fabric) Send(srcNode, dstNode, srcAddr, dstAddr string, connID uint64, 
 		return ErrNodeDown{dstNode}
 	}
 	lat := f.BaseLatency + time.Duration(f.rng.Int63n(int64(f.BaseLatency)/3+1))
-	lat += f.extraLatency[srcNode] + f.extraLatency[dstNode]
+	// Injected latency models a tc qdisc on the node's NIC: a packet
+	// crosses the source's NIC once and the destination's NIC once, so a
+	// loopback send (src == dst) pays the injection once, not twice.
+	if srcNode == dstNode {
+		lat += f.extraLatency[srcNode]
+	} else {
+		lat += f.extraLatency[srcNode] + f.extraLatency[dstNode]
+	}
 	f.Sim.After(lat, func() {
 		pkt := Packet{
 			Time:    f.Sim.Now(),

@@ -204,3 +204,110 @@ func TestServicePortsCoverServices(t *testing.T) {
 		}
 	}
 }
+
+func TestEphemeralPortSkipsLivePortsOnWrap(t *testing.T) {
+	f := newTestFabric()
+	// Pin a port near the end of the range as still-live, then force the
+	// counter past it: the allocator must skip it rather than hand out a
+	// port that still keys an active connection at the taps.
+	f.nextPort = 60997
+	live := f.EphemeralPort() // 60998
+	if live != 60998 {
+		t.Fatalf("setup port = %d, want 60998", live)
+	}
+	f.nextPort = 60997 // rewind the counter so the next scan re-visits 60998
+	if p := f.EphemeralPort(); p == live {
+		t.Fatalf("allocator reused live port %d", p)
+	} else if p != 60999 {
+		t.Fatalf("port = %d, want 60999 (skipping live 60998)", p)
+	}
+	if p := f.EphemeralPort(); p != 33000 {
+		t.Fatalf("wrap port = %d, want 33000", p)
+	}
+	f.ReleasePort(live)
+	f.nextPort = 60997
+	if p := f.EphemeralPort(); p != live {
+		t.Fatalf("released port not reallocated: got %d want %d", p, live)
+	}
+}
+
+func TestEphemeralPortExhaustion(t *testing.T) {
+	f := newTestFabric()
+	span := ephemeralMax - ephemeralMin + 1
+	seen := make(map[int]bool, span)
+	for i := 0; i < span; i++ {
+		p := f.EphemeralPort()
+		if p < ephemeralMin || p > ephemeralMax {
+			t.Fatalf("port %d outside [%d,%d]", p, ephemeralMin, ephemeralMax)
+		}
+		if seen[p] {
+			t.Fatalf("port %d handed out twice after %d allocations", p, i+1)
+		}
+		seen[p] = true
+	}
+	if f.PortReuse != 0 {
+		t.Fatalf("PortReuse = %d before exhaustion", f.PortReuse)
+	}
+	if got := f.PortsInUse(); got != span {
+		t.Fatalf("PortsInUse = %d, want %d", got, span)
+	}
+	// The whole range is live: the allocator reuses (counted) instead of
+	// wedging the simulation.
+	p := f.EphemeralPort()
+	if f.PortReuse != 1 {
+		t.Fatalf("PortReuse = %d after exhausted alloc, want 1", f.PortReuse)
+	}
+	if p < ephemeralMin || p > ephemeralMax {
+		t.Fatalf("fallback port %d outside range", p)
+	}
+	// Freeing any port makes the next allocation clean again.
+	f.ReleasePort(40000)
+	if q := f.EphemeralPort(); q != 40000 {
+		t.Fatalf("post-release alloc = %d, want 40000", q)
+	}
+	if f.PortReuse != 1 {
+		t.Fatalf("PortReuse moved to %d on a clean alloc", f.PortReuse)
+	}
+	f.ReleasePort(40000)
+	f.ReleasePort(40000) // double release is a no-op
+	if got := f.PortsInUse(); got != span-1 {
+		t.Fatalf("PortsInUse = %d after release, want %d", got, span-1)
+	}
+}
+
+func TestSendSelfLatencyChargedOnce(t *testing.T) {
+	const inject = 50 * time.Millisecond
+	cases := []struct {
+		name     string
+		src, dst string
+		min, max time.Duration
+	}{
+		// BaseLatency is 300µs with ≤100µs jitter; 1ms of slack swamps it.
+		{"self send, no injection", "a", "a", 0, time.Millisecond},
+		{"self send charges injection once", "a", "a", inject, inject + time.Millisecond},
+		{"cross send charges src injection", "a", "b", inject, inject + time.Millisecond},
+		{"cross send charges both endpoints", "a", "glance", 2 * inject, 2*inject + time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newTestFabric()
+			f.AddNode("a", "10.0.0.1", trace.SvcHorizon)
+			f.AddNode("b", "10.0.0.2", trace.SvcNova)
+			f.AddNode("glance", "10.0.0.6", trace.SvcGlance)
+			if tc.name != "self send, no injection" {
+				f.InjectLatency("a", inject)
+				f.InjectLatency("glance", inject)
+			}
+			start := f.Sim.Now()
+			var at time.Time
+			if err := f.Send(tc.src, tc.dst, "x", "y", 1, nil, func(p Packet) { at = p.Time }); err != nil {
+				t.Fatal(err)
+			}
+			f.Sim.Run()
+			took := at.Sub(start)
+			if took < tc.min || took > tc.max {
+				t.Fatalf("delivery took %v, want [%v, %v]", took, tc.min, tc.max)
+			}
+		})
+	}
+}

@@ -121,6 +121,11 @@ type Report struct {
 	// explain mode is off, keeping reports byte-identical to a run
 	// without the subsystem.
 	TraceID uint64 `json:",omitempty"`
+	// Member names the analyzer instance that produced this report when
+	// it runs as one partition of a federation (Config.Member). Empty —
+	// and omitted from JSON — on a standalone analyzer, keeping
+	// single-process output byte-identical to a federation of one.
+	Member string `json:",omitempty"`
 
 	// TruthOp is ground truth (evaluation only): the operation that
 	// actually contained the fault.
@@ -189,6 +194,11 @@ type Config struct {
 	PerfCooldown time.Duration
 	// TotalOps overrides N in θ; defaults to the library size.
 	TotalOps int
+	// Member names this analyzer instance when it runs as one partition
+	// of a federation; every report is stamped with it so the merged
+	// stream stays attributable. Empty (the default) stamps nothing,
+	// keeping standalone output byte-identical.
+	Member string
 	// DetectWorkers sets the number of concurrent detection workers that
 	// run Algorithm 2 off the ingest hot path. 0 (the default) detects
 	// inline on the receiver goroutine — bit-for-bit the classic
@@ -940,6 +950,9 @@ func (a *Analyzer) growContext(snap *window.Snapshot, preps []prepared, pat *sna
 // collector, which delivers reports in fault-arrival order so parallel
 // detection produces byte-identical output.
 func (a *Analyzer) finish(rep *Report) {
+	if a.cfg.Member != "" {
+		rep.Member = a.cfg.Member
+	}
 	if len(rep.Candidates) > 0 {
 		mDetectHits.Inc()
 	} else {

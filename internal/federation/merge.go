@@ -1,0 +1,175 @@
+package federation
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// MergerConfig tunes the merge stage.
+type MergerConfig struct {
+	// Window is the reorder horizon: an envelope is held until the
+	// watermark (the max fault-arrival time seen, or the clock handed to
+	// AdvanceTo) passes its At by this much, giving slower members time
+	// to contribute earlier reports. Default 500ms.
+	Window time.Duration
+	// Emit receives envelopes in merged order. Required.
+	Emit func(Envelope)
+}
+
+// MergerStats counts merge outcomes.
+type MergerStats struct {
+	// Merged counts envelopes emitted in order.
+	Merged uint64
+	// Late counts envelopes that arrived after the watermark had passed
+	// them; they are emitted immediately (never dropped) but out of
+	// global order.
+	Late uint64
+	// Dups counts envelopes rejected by the per-(member, epoch)
+	// sequence high-water mark — a coordinator cursor replay.
+	Dups uint64
+}
+
+type memberEpoch struct {
+	member string
+	epoch  uint64
+}
+
+// Merger folds per-member report streams into one globally ordered
+// stream: fault-arrival order (At), ties broken by (Member, Epoch, Seq)
+// so the order is deterministic for identical inputs. Each member's
+// stream must arrive in its own Seq order (ReportLog guarantees this);
+// cross-member interleaving is what the reorder window absorbs. With a
+// single member the merge degenerates to the identity: every envelope
+// emits in Seq order, which is the byte-parity case.
+type Merger struct {
+	cfg MergerConfig
+
+	mu        sync.Mutex
+	pending   envHeap
+	watermark time.Time
+	seen      map[memberEpoch]uint64
+	stats     MergerStats
+}
+
+// NewMerger builds a merger delivering to cfg.Emit.
+func NewMerger(cfg MergerConfig) *Merger {
+	if cfg.Window <= 0 {
+		cfg.Window = 500 * time.Millisecond
+	}
+	return &Merger{cfg: cfg, seen: make(map[memberEpoch]uint64)}
+}
+
+// Add folds one envelope in, emitting everything the advancing
+// watermark has released.
+func (m *Merger) Add(env Envelope) {
+	m.mu.Lock()
+	key := memberEpoch{env.Member, env.Epoch}
+	if env.Seq <= m.seen[key] {
+		m.stats.Dups++
+		m.mu.Unlock()
+		return
+	}
+	m.seen[key] = env.Seq
+	if !env.At.After(m.watermark) {
+		// Its slot in the global order already passed: emit now rather
+		// than never, and count the ordering violation.
+		m.stats.Late++
+		m.stats.Merged++
+		emit := m.cfg.Emit
+		m.mu.Unlock()
+		emit(env)
+		return
+	}
+	heap.Push(&m.pending, env)
+	if wm := env.At.Add(-m.cfg.Window); wm.After(m.watermark) {
+		m.watermark = wm
+	}
+	ready := m.releaseLocked()
+	m.mu.Unlock()
+	m.deliver(ready)
+}
+
+// AdvanceTo moves the watermark to t (typically now - Window, on a
+// timer) so a quiescent stream still drains: without new arrivals the
+// At-driven watermark would hold the last reports forever.
+func (m *Merger) AdvanceTo(t time.Time) {
+	m.mu.Lock()
+	if t.After(m.watermark) {
+		m.watermark = t
+	}
+	ready := m.releaseLocked()
+	m.mu.Unlock()
+	m.deliver(ready)
+}
+
+// Flush emits everything still pending, in order. Call at end of
+// stream.
+func (m *Merger) Flush() {
+	m.mu.Lock()
+	ready := make([]Envelope, 0, len(m.pending))
+	for len(m.pending) > 0 {
+		ready = append(ready, heap.Pop(&m.pending).(Envelope))
+	}
+	m.stats.Merged += uint64(len(ready))
+	m.mu.Unlock()
+	m.deliver(ready)
+}
+
+// Stats snapshots the merge counters.
+func (m *Merger) Stats() MergerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Pending reports how many envelopes are held in the reorder window.
+func (m *Merger) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// releaseLocked pops every envelope at or before the watermark; m.mu
+// must be held.
+func (m *Merger) releaseLocked() []Envelope {
+	var ready []Envelope
+	for len(m.pending) > 0 && !m.pending[0].At.After(m.watermark) {
+		ready = append(ready, heap.Pop(&m.pending).(Envelope))
+	}
+	m.stats.Merged += uint64(len(ready))
+	return ready
+}
+
+func (m *Merger) deliver(ready []Envelope) {
+	for _, env := range ready {
+		m.cfg.Emit(env)
+	}
+}
+
+// envHeap orders envelopes by (At, Member, Epoch, Seq).
+type envHeap []Envelope
+
+func (h envHeap) Len() int { return len(h) }
+func (h envHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if !a.At.Equal(b.At) {
+		return a.At.Before(b.At)
+	}
+	if a.Member != b.Member {
+		return a.Member < b.Member
+	}
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	return a.Seq < b.Seq
+}
+func (h envHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *envHeap) Push(x any)   { *h = append(*h, x.(Envelope)) }
+func (h *envHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

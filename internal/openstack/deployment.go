@@ -485,7 +485,8 @@ func (d *Deployment) execREST(inst *Instance, idx int, step Step, repeat bool, n
 
 	connID := d.Fabric.NewConnID()
 	d.connOp[connID] = opRef{inst.ID, inst.Op.Name}
-	cliAddr := cluster.Addr(callerNode, d.Fabric.EphemeralPort())
+	cliPort := d.Fabric.EphemeralPort()
+	cliAddr := cluster.Addr(callerNode, cliPort)
 	srvAddr := cluster.Addr(targetNode, cluster.ServicePorts[step.API.Service])
 
 	req := &rest.Request{Method: step.API.Method, Path: d.concretePath(step.API.Path, inst.rng)}
@@ -501,6 +502,8 @@ func (d *Deployment) execREST(inst *Instance, idx int, step Step, repeat bool, n
 	err := d.Fabric.Send(callerNode.Name, targetNode.Name, cliAddr, srvAddr, connID, reqBytes, func(cluster.Packet) {
 		// Server side: process, then respond (unless dropped).
 		if outcome.Drop {
+			// The client eventually times the connection out.
+			d.Fabric.ReleasePort(cliPort)
 			return
 		}
 		// State-change handlers persist through MySQL (§2 "Dependencies").
@@ -512,6 +515,7 @@ func (d *Deployment) execREST(inst *Instance, idx int, step Step, repeat bool, n
 		proc := d.procTime(step.API, targetNode, inst.rng)
 		d.Sim.After(proc, func() {
 			if !targetNode.Up || !callerNode.Up {
+				d.Fabric.ReleasePort(cliPort)
 				return
 			}
 			status := outcome.Status
@@ -526,7 +530,8 @@ func (d *Deployment) execREST(inst *Instance, idx int, step Step, repeat bool, n
 			}
 			resp.Body = responseBody(step.API, status, outcome.ErrText)
 			respBytes := rest.MarshalResponse(resp)
-			d.Fabric.Send(targetNode.Name, callerNode.Name, srvAddr, cliAddr, connID, respBytes, func(cluster.Packet) {
+			rerr := d.Fabric.Send(targetNode.Name, callerNode.Name, srvAddr, cliAddr, connID, respBytes, func(cluster.Packet) {
+				d.Fabric.ReleasePort(cliPort)
 				if status >= 400 {
 					fail(step.API, outcome.ErrText)
 					return
@@ -544,9 +549,13 @@ func (d *Deployment) execREST(inst *Instance, idx int, step Step, repeat bool, n
 				}
 				next()
 			})
+			if rerr != nil {
+				d.Fabric.ReleasePort(cliPort)
+			}
 		})
 	})
 	if err != nil {
+		d.Fabric.ReleasePort(cliPort)
 		d.complete(inst, StateAborted)
 	}
 }
@@ -598,12 +607,15 @@ func (d *Deployment) execRPC(inst *Instance, idx int, step Step, next func(), fa
 		Envelope:   env,
 	}
 	pubBytes, _ := amqp.Marshal(pub)
-	pubAddr := cluster.Addr(pubNode, d.Fabric.EphemeralPort())
+	pubPort := d.Fabric.EphemeralPort()
+	pubAddr := cluster.Addr(pubNode, pubPort)
 	brokerAddr := cluster.Addr(d.brokerNode, cluster.ServicePorts[trace.SvcRabbitMQ])
 	connID := d.Fabric.NewConnID()
 	d.connOp[connID] = opRef{inst.ID, inst.Op.Name}
 
 	err := d.Fabric.Send(pubNode.Name, d.brokerNode.Name, pubAddr, brokerAddr, connID, pubBytes, func(cluster.Packet) {
+		// Publish acknowledged: the one-shot publisher connection closes.
+		d.Fabric.ReleasePort(pubPort)
 		deliveries := d.Broker.Route(pub)
 		if len(deliveries) == 0 {
 			// No consumer (e.g. all compute services down): the call
@@ -636,6 +648,7 @@ func (d *Deployment) execRPC(inst *Instance, idx int, step Step, next func(), fa
 		}
 	})
 	if err != nil {
+		d.Fabric.ReleasePort(pubPort)
 		d.complete(inst, StateAborted)
 		return
 	}
@@ -660,11 +673,13 @@ func (d *Deployment) sendRPCReply(inst *Instance, step Step, msgID string, consu
 		}
 	}
 	replyBytes, _ := amqp.Marshal(reply)
-	consAddr := cluster.Addr(consumerNode, d.Fabric.EphemeralPort())
+	consPort := d.Fabric.EphemeralPort()
+	consAddr := cluster.Addr(consumerNode, consPort)
 	brokerAddr := cluster.Addr(d.brokerNode, cluster.ServicePorts[trace.SvcRabbitMQ])
 	rConnID := d.Fabric.NewConnID()
 	d.connOp[rConnID] = opRef{inst.ID, inst.Op.Name}
-	d.Fabric.Send(consumerNode.Name, d.brokerNode.Name, consAddr, brokerAddr, rConnID, replyBytes, func(cluster.Packet) {
+	rerr := d.Fabric.Send(consumerNode.Name, d.brokerNode.Name, consAddr, brokerAddr, rConnID, replyBytes, func(cluster.Packet) {
+		d.Fabric.ReleasePort(consPort)
 		dels := d.Broker.Route(reply)
 		for _, del := range dels {
 			del := del
@@ -675,7 +690,9 @@ func (d *Deployment) sendRPCReply(inst *Instance, step Step, msgID string, consu
 			delBytes, _ := amqp.Marshal(del.Message)
 			dConnID := d.Fabric.NewConnID()
 			d.connOp[dConnID] = opRef{inst.ID, inst.Op.Name}
-			d.Fabric.Send(d.brokerNode.Name, callerNode.Name, brokerAddr, cluster.Addr(callerNode, d.Fabric.EphemeralPort()), dConnID, delBytes, func(cluster.Packet) {
+			delPort := d.Fabric.EphemeralPort()
+			derr := d.Fabric.Send(d.brokerNode.Name, callerNode.Name, brokerAddr, cluster.Addr(callerNode, delPort), dConnID, delBytes, func(cluster.Packet) {
+				d.Fabric.ReleasePort(delPort)
 				if outcome.Status != 0 {
 					fail(step.API, reply.Envelope.Failure)
 					return
@@ -686,8 +703,14 @@ func (d *Deployment) sendRPCReply(inst *Instance, step Step, msgID string, consu
 				}
 				next()
 			})
+			if derr != nil {
+				d.Fabric.ReleasePort(delPort)
+			}
 		}
 	})
+	if rerr != nil {
+		d.Fabric.ReleasePort(consPort)
+	}
 }
 
 // sendDBQuery emits a best-effort opaque database exchange from a service
@@ -705,9 +728,14 @@ func (d *Deployment) sendDBQuery(from *cluster.Node, inst *Instance) {
 	payload = append(payload, byte(len(query)+1), 0, 0, 0, 0x03)
 	payload = append(payload, query...)
 	connID := d.Fabric.NewConnID()
-	src := cluster.Addr(from, d.Fabric.EphemeralPort())
+	srcPort := d.Fabric.EphemeralPort()
+	src := cluster.Addr(from, srcPort)
 	dst := cluster.Addr(mysql, cluster.ServicePorts[trace.SvcMySQL])
-	d.Fabric.Send(from.Name, mysql.Name, src, dst, connID, payload, nil)
+	if err := d.Fabric.Send(from.Name, mysql.Name, src, dst, connID, payload, func(cluster.Packet) {
+		d.Fabric.ReleasePort(srcPort)
+	}); err != nil {
+		d.Fabric.ReleasePort(srcPort)
+	}
 }
 
 // execErrorRelay performs the status-poll REST exchange that surfaces an
@@ -724,7 +752,8 @@ func (d *Deployment) execErrorRelay(inst *Instance, errText string) {
 	}
 	connID := d.Fabric.NewConnID()
 	d.connOp[connID] = opRef{inst.ID, inst.Op.Name}
-	cliAddr := cluster.Addr(callerNode, d.Fabric.EphemeralPort())
+	cliPort := d.Fabric.EphemeralPort()
+	cliAddr := cluster.Addr(callerNode, cliPort)
 	srvAddr := cluster.Addr(targetNode, cluster.ServicePorts[api.Service])
 
 	req := &rest.Request{Method: api.Method, Path: d.concretePath(api.Path, inst.rng), Body: []byte(`{}`)}
@@ -737,6 +766,7 @@ func (d *Deployment) execErrorRelay(inst *Instance, errText string) {
 		proc := d.procTime(api, targetNode, inst.rng)
 		d.Sim.After(proc, func() {
 			if !targetNode.Up || !callerNode.Up {
+				d.Fabric.ReleasePort(cliPort)
 				d.complete(inst, StateFailed)
 				return
 			}
@@ -746,12 +776,17 @@ func (d *Deployment) execErrorRelay(inst *Instance, errText string) {
 				resp.Header.Set("X-Openstack-Request-Id", inst.CorrID)
 			}
 			resp.Body = responseBody(api, 500, errText)
-			d.Fabric.Send(targetNode.Name, callerNode.Name, srvAddr, cliAddr, connID, rest.MarshalResponse(resp), func(cluster.Packet) {
+			rerr := d.Fabric.Send(targetNode.Name, callerNode.Name, srvAddr, cliAddr, connID, rest.MarshalResponse(resp), func(cluster.Packet) {
+				d.Fabric.ReleasePort(cliPort)
 				d.complete(inst, StateFailed)
 			})
+			if rerr != nil {
+				d.Fabric.ReleasePort(cliPort)
+			}
 		})
 	})
 	if err != nil {
+		d.Fabric.ReleasePort(cliPort)
 		d.complete(inst, StateFailed)
 	}
 }
@@ -779,9 +814,11 @@ func (d *Deployment) startHeartbeats(period time.Duration) {
 				}
 				raw, _ := amqp.Marshal(m)
 				connID := d.Fabric.NewConnID()
-				src := cluster.Addr(from, d.Fabric.EphemeralPort())
+				srcPort := d.Fabric.EphemeralPort()
+				src := cluster.Addr(from, srcPort)
 				dst := cluster.Addr(d.brokerNode, cluster.ServicePorts[trace.SvcRabbitMQ])
-				d.Fabric.Send(from.Name, d.brokerNode.Name, src, dst, connID, raw, func(cluster.Packet) {
+				herr := d.Fabric.Send(from.Name, d.brokerNode.Name, src, dst, connID, raw, func(cluster.Packet) {
+					d.Fabric.ReleasePort(srcPort)
 					// Heartbeats are consumed by the parent controller.
 					var target *cluster.Node
 					switch api.Service {
@@ -801,6 +838,9 @@ func (d *Deployment) startHeartbeats(period time.Duration) {
 					dConnID := d.Fabric.NewConnID()
 					d.Fabric.Send(d.brokerNode.Name, target.Name, dst, cluster.Addr(target, cluster.ServicePorts[target.Service]), dConnID, delBytes, nil)
 				})
+				if herr != nil {
+					d.Fabric.ReleasePort(srcPort)
+				}
 			})
 		})
 	}

@@ -2,6 +2,7 @@ package export
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"math"
 	"os"
@@ -164,5 +165,69 @@ func TestAppendPointDeterministic(t *testing.T) {
 	const want = "m,a=1,b=2,c=3 a=2.5,z=1i 99\n"
 	if string(out1) != want {
 		t.Fatalf("got %q want %q", out1, want)
+	}
+}
+
+// TestHostTagFallbackGolden pins the empty-hostname path end to end: a
+// failed or empty os.Hostname must become host=unknown, because the
+// encoder silently drops tags with empty values — the golden shows both
+// the dropped-tag hazard and the fallback that avoids it.
+func TestHostTagFallbackGolden(t *testing.T) {
+	cases := []struct {
+		host string
+		err  error
+		want string
+	}{
+		{"node-7", nil, "node-7"},
+		{"", nil, "unknown"},
+		{"", errors.New("hostname: lookup failed"), "unknown"},
+		{"stale-name", errors.New("hostname: lookup failed"), "unknown"},
+	}
+	for _, tc := range cases {
+		if got := hostTag(tc.host, tc.err); got != tc.want {
+			t.Errorf("hostTag(%q, %v) = %q, want %q", tc.host, tc.err, got, tc.want)
+		}
+	}
+
+	fields := []Field{{Key: "delta", Value: 1, Integer: true}}
+	var buf []byte
+	var err error
+	// The hazard: an empty host value changes the series key — the tag
+	// vanishes instead of encoding as host=.
+	buf, err = AppendPoint(buf, &Point{
+		Name:   "core.reports",
+		Tags:   []Tag{{"host", ""}, {"proc", "gretel"}},
+		Fields: fields,
+		TimeNS: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf, []byte("host")) {
+		t.Fatalf("encoder kept an empty host tag: %q", buf)
+	}
+	// The fix: the fallback keeps the series key stable.
+	buf, err = AppendPoint(buf, &Point{
+		Name:   "core.reports",
+		Tags:   []Tag{{"host", hostTag("", errors.New("no hostname"))}, {"proc", "gretel"}},
+		Fields: fields,
+		TimeNS: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "hosttag.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("golden mismatch:\n got: %q\nwant: %q", buf, want)
 	}
 }

@@ -36,15 +36,24 @@ type histState struct {
 	prev, cur telemetry.HistSnap
 }
 
+// hostTag maps an os.Hostname result onto a usable tag value. A failed
+// lookup or an empty name both fall back to "unknown": the line-protocol
+// encoder drops tags with empty values entirely (see AppendPoint), which
+// would silently change the series key and split one host's history into
+// two series the moment the hostname became resolvable again.
+func hostTag(host string, err error) string {
+	if err != nil || host == "" {
+		return "unknown"
+	}
+	return host
+}
+
 // NewSampler builds a sampler over reg. Every point carries the base
 // tags host (os.Hostname), proc, and rev (short git revision from the
 // build provenance, "+dirty" when the tree was modified).
 func NewSampler(reg *telemetry.Registry, proc string) *Sampler {
 	prov := telemetry.Prov()
-	host, _ := os.Hostname()
-	if host == "" {
-		host = "unknown"
-	}
+	host := hostTag(os.Hostname())
 	rev := prov.GitRev
 	if rev == "" {
 		rev = "unknown"
